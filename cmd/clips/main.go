@@ -1,0 +1,97 @@
+// Command clips is a small interactive shell for the HTH expert
+// system — the same engine Secpert runs on, driven with the CLIPS
+// syntax of the paper's Appendix A.
+//
+//	$ go run ./cmd/clips
+//	CLIPS> (deftemplate person (slot name))
+//	CLIPS> (defrule hi (person (name ?n)) => (printout t "hi " ?n crlf))
+//	CLIPS> (assert (person (name world)))
+//	CLIPS> (run)
+//	FIRE 1 hi: f-1
+//	hi world
+//	1 rules fired
+//
+// A file argument evaluates the file then exits:
+//
+//	clips policy.clp
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/expert"
+)
+
+func main() {
+	eng := expert.NewEngine()
+	eng.Out = os.Stdout
+	env := expert.NewClips(eng)
+	env.Out = os.Stdout
+
+	if len(os.Args) > 1 {
+		src, err := os.ReadFile(os.Args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "clips: %v\n", err)
+			os.Exit(1)
+		}
+		if err := env.Eval(string(src)); err != nil {
+			fmt.Fprintf(os.Stderr, "clips: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	var pending strings.Builder
+	fmt.Print("CLIPS> ")
+	for in.Scan() {
+		pending.WriteString(in.Text())
+		pending.WriteString("\n")
+		if balanced(pending.String()) {
+			src := pending.String()
+			pending.Reset()
+			if strings.TrimSpace(src) != "" {
+				if err := env.Eval(src); err != nil {
+					fmt.Printf("error: %v\n", err)
+				}
+			}
+			fmt.Print("CLIPS> ")
+		}
+	}
+	fmt.Println()
+}
+
+// balanced reports whether every opened paren is closed (ignoring
+// strings and comments), so multi-line forms can be typed.
+func balanced(s string) bool {
+	depth := 0
+	inStr := false
+	inComment := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inComment:
+			if c == '\n' {
+				inComment = false
+			}
+		case inStr:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				inStr = false
+			}
+		case c == '"':
+			inStr = true
+		case c == ';':
+			inComment = true
+		case c == '(':
+			depth++
+		case c == ')':
+			depth--
+		}
+	}
+	return depth <= 0 && !inStr
+}

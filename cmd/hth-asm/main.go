@@ -1,0 +1,104 @@
+// Command hth-asm assembles guest programs and inspects the result:
+// disassembly, symbol table, and the Harrier instrumentation plan of
+// paper Figure 5.
+//
+//	hth-asm -in prog.s -disasm
+//	hth-asm -in prog.s -instrument
+//	hth-asm -in prog.s -symbols
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/harrier"
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/loader"
+	"repro/internal/secbin"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "guest assembly file")
+		disasm     = flag.Bool("disasm", false, "print the loaded disassembly")
+		instrument = flag.Bool("instrument", false, "print the Harrier instrumentation plan (paper Figure 5)")
+		symbols    = flag.Bool("symbols", false, "print the symbol table")
+		secure     = flag.Bool("secure", false, "run the Secure Binary verifier (paper Appendix B)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	img, err := asm.Assemble(*in, string(src))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("image %s: %d section(s), %d symbol(s), %d relocation(s)\n",
+		img.Name, len(img.Sections), len(img.Symbols), len(img.Relocs))
+
+	if *symbols {
+		printSymbols(img)
+	}
+	exitCode := 0
+	if *secure {
+		rep, err := secbin.Verify(img)
+		if err != nil {
+			fatalf("secure-binary check: %v", err)
+		}
+		fmt.Print(rep)
+		if !rep.Secure() {
+			exitCode = 1
+		}
+	}
+	if !*disasm && !*instrument {
+		os.Exit(exitCode)
+	}
+	defer os.Exit(exitCode)
+
+	// Load standalone (imports unresolved here) to obtain real spans.
+	cpu := isa.NewCPU()
+	li, err := loader.NewMap().Load(cpu, img, &loader.Env{
+		Resolve: func(name string) (*image.Image, error) {
+			return nil, fmt.Errorf("hth-asm inspects single images; import %q not loaded", name)
+		},
+	})
+	if err != nil {
+		fatalf("load: %v", err)
+	}
+	for _, span := range li.Spans {
+		if *disasm {
+			fmt.Printf("\n; span %#x..%#x (%d basic blocks)\n%s",
+				span.Base, span.End(), span.NumBlocks(), span.Disassemble())
+		}
+		if *instrument {
+			fmt.Printf("\n; instrumentation plan (Figure 5)\n%s",
+				harrier.InstrumentationPlan(span))
+		}
+	}
+}
+
+func printSymbols(img *image.Image) {
+	names := make([]string, 0, len(img.Symbols))
+	for n := range img.Symbols {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sym := img.Symbols[n]
+		fmt.Printf("  %-20s section %d offset %d\n", n, sym.Section, sym.Offset)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hth-asm: "+format+"\n", args...)
+	os.Exit(1)
+}

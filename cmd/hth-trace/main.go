@@ -1,0 +1,112 @@
+// Command hth-trace single-steps a guest program and prints every
+// executed instruction with its taint effects — a debugging lens on
+// exactly what Harrier's Track_DataFlow sees.
+//
+//	hth-trace -in prog.s [-limit 200] [-taint] [arg ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	hth "repro"
+	"repro/internal/isa"
+	"repro/internal/taint"
+	"repro/internal/vos"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "", "guest assembly file")
+		limit     = flag.Int("limit", 500, "maximum instructions to trace")
+		showTaint = flag.Bool("taint", false, "print register tags after each instruction")
+		stdin     = flag.String("stdin", "", "guest stdin")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	sys := hth.NewSystem()
+	guestPath := "/bin/" + strings.TrimSuffix(filepath.Base(*in), ".s")
+	if err := sys.InstallSource(guestPath, string(src)); err != nil {
+		fatalf("assemble: %v", err)
+	}
+
+	// Build the monitored world through the Session API so we can
+	// splice a tracing hook in front of Harrier's.
+	sn := sys.NewSession(hth.DefaultConfig())
+	p, err := sn.Start(hth.RunSpec{
+		Path:  guestPath,
+		Argv:  append([]string{guestPath}, flag.Args()...),
+		Stdin: []byte(*stdin),
+	})
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	count := 0
+	store := storeOf(p)
+	inner := p.CPU.Hooks.OnInstr
+	p.CPU.Hooks.OnInstr = func(c *isa.CPU, s *isa.Span, idx int) {
+		if count < *limit {
+			fmt.Printf("%08x %-14s %s\n", s.Addr(idx), shortImage(s.Image), s.Instrs[idx])
+			if *showTaint && store != nil {
+				printTags(c, store)
+			}
+		}
+		if count == *limit {
+			fmt.Printf("... trace limit reached (%d), continuing silently\n", *limit)
+		}
+		count++
+		if inner != nil {
+			inner(c, s, idx)
+		}
+	}
+
+	res, err := sn.Wait()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("\n%d instruction(s) executed; %d traced\n", res.TotalSteps, min(count, *limit))
+	fmt.Print(res.Report())
+}
+
+func storeOf(p *vos.Process) *taint.Store {
+	if p.CPU.Shadow == nil {
+		return nil
+	}
+	return p.CPU.Shadow.Store()
+}
+
+func printTags(c *isa.CPU, store *taint.Store) {
+	var parts []string
+	for r := isa.EAX; r < isa.NumRegs; r++ {
+		if t := c.RegTags[r]; t != taint.Empty {
+			parts = append(parts, fmt.Sprintf("%s=%s", r, store.String(t)))
+		}
+	}
+	if len(parts) > 0 {
+		fmt.Printf("         tags: %s\n", strings.Join(parts, " "))
+	}
+}
+
+func shortImage(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hth-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Cross-session monitoring: the paper's §10 future-work items 6 and 8.
+// Secpert keeps a History across program executions:
+//
+//  1. Session 1 watches a downloader drop a file.
+//  2. Session 2 sees a *different* program execute that file with a
+//     perfectly innocent-looking (user-given) name — and escalates it
+//     to High because the History remembers who created it.
+//  3. The user then approves a recurring Low warning once, and the
+//     identical warning is suppressed in the next session.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hth "repro"
+	"repro/internal/secpert"
+)
+
+const downloader = `
+.text
+_start:
+    mov ebx, f
+    mov eax, 8          ; creat("/tmp/update.bin")
+    int 0x80
+    mov ebx, eax
+    mov ecx, data
+    mov edx, 8
+    mov eax, 4
+    int 0x80
+    hlt
+.data
+f:    .asciz "/tmp/update.bin"
+data: .asciz "UPDATE01"
+`
+
+const launcher = `
+.text
+_start:
+    mov ebp, [esp+4]
+    mov ebx, [ebp+4]    ; argv[1]: the user picked the program
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 11         ; execve
+    int 0x80
+    hlt
+`
+
+func main() {
+	hist := secpert.NewHistory()
+	sys := hth.NewSystem()
+	sys.MustInstallSource("/bin/downloader", downloader)
+	sys.MustInstallSource("/bin/launcher", launcher)
+
+	cfg := hth.DefaultConfig()
+	cfg.Policy.History = hist
+
+	fmt.Println("=== session 1: the downloader runs ===")
+	res, err := sys.Run(cfg, hth.RunSpec{Path: "/bin/downloader"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+
+	// Between sessions the dropped file becomes executable (the
+	// attacker's payload).
+	sys.MustInstallSource("/tmp/update.bin", ".text\n_start: hlt\n")
+
+	fmt.Println("=== session 2: the user launches /tmp/update.bin by hand ===")
+	res, err = sys.Run(cfg, hth.RunSpec{
+		Path: "/bin/launcher",
+		Argv: []string{"/bin/launcher", "/tmp/update.bin"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+
+	fmt.Println("=== session 3: the user approves the session-1 warning; it goes quiet ===")
+	for i := range res.Warnings {
+		hist.Approve(&res.Warnings[i])
+	}
+	res, err = sys.Run(cfg, hth.RunSpec{
+		Path: "/bin/launcher",
+		Argv: []string{"/bin/launcher", "/tmp/update.bin"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+	fmt.Printf("suppressed by prior approval: %d\n", res.Secpert.Suppressed())
+}

@@ -1,0 +1,111 @@
+// Custom policy: extend Secpert with your own CLIPS-style rule on top
+// of the built-in §4 policy. The example adds a rule the paper lists
+// as future work (§10 item 4, network abuse): warn when a program
+// connects to many distinct endpoints — beaconing behaviour.
+//
+// It demonstrates the expert-system surface: templates are already
+// defined, facts arrive per event, and a new rule can pattern-match
+// them and issue its own warnings through the engine's printout.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	hth "repro"
+	"repro/internal/expert"
+	"repro/internal/harrier"
+	"repro/internal/secpert"
+	"repro/internal/vos"
+)
+
+// beacon contacts four different hosts in a row.
+const beacon = `
+.text
+_start:
+    mov edi, addrs      ; table of 4 address-string pointers
+    mov esi, 4
+next:
+    mov eax, 102
+    mov ebx, 1          ; socket
+    mov ecx, scargs
+    int 0x80
+    mov [scargs], eax
+    mov eax, [edi]
+    mov [scargs+4], eax
+    mov eax, 102
+    mov ebx, 3          ; connect
+    mov ecx, scargs
+    int 0x80
+    add edi, 4
+    dec esi
+    jnz next
+    hlt
+.data
+a1: .asciz "c2-a.evil:443"
+a2: .asciz "c2-b.evil:443"
+a3: .asciz "c2-c.evil:443"
+a4: .asciz "c2-d.evil:443"
+addrs:  .word a1, a2, a3, a4
+scargs: .space 12
+`
+
+type nullScript struct{}
+
+func (nullScript) OnConnect(*vos.RemoteConn)      {}
+func (nullScript) OnData(*vos.RemoteConn, []byte) {}
+
+func main() {
+	sys := hth.NewSystem()
+	for _, ep := range []string{"c2-a.evil:443", "c2-b.evil:443", "c2-c.evil:443", "c2-d.evil:443"} {
+		sys.AddRemote(ep, func() vos.RemoteScript { return nullScript{} })
+	}
+	sys.MustInstallSource("/bin/beacon", beacon)
+
+	// Build the policy, then graft a custom rule onto the engine
+	// before the run starts.
+	sec := secpert.New(secpert.DefaultConfig(), nil)
+	seen := map[string]bool{}
+	err := sec.Engine().DefRule(&expert.Rule{
+		Name:     "check_beaconing",
+		Doc:      "many distinct outbound connections",
+		Salience: 7,
+		Patterns: []expert.Pattern{
+			expert.P("system_call_access",
+				expert.S("system_call_name", expert.Lit("SYS_socketcall:connect")),
+				expert.S("resource_name", expert.Var("addr")),
+			),
+		},
+		Action: func(ctx *expert.Context, b *expert.Bindings) {
+			seen[b.Str("addr")] = true
+			if len(seen) == 3 {
+				ctx.Printf("Warning [custom] program contacted %d distinct endpoints — beaconing?\n", len(seen))
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run through the low-level API so our pre-built Secpert is used.
+	h := harrier.New(harrier.DefaultConfig(), sec)
+	p, err := sys.OS.StartProcess(vos.ProcSpec{
+		Path:    "/bin/beacon",
+		Monitor: h,
+		Store:   h.Store,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sec.SetOutput(os.Stdout)
+	if err := sys.OS.Run(); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\nguest exited %d; built-in warnings: %d; distinct endpoints seen: %d\n",
+		p.ExitCode, len(sec.Warnings()), len(seen))
+	for _, w := range sec.Warnings() {
+		fmt.Println(w)
+	}
+}

@@ -1,0 +1,49 @@
+// Quickstart: install a guest program, run it under the HTH monitor,
+// and print any warnings — the smallest useful HTH session.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hth "repro"
+)
+
+// The "suspect": a program that executes another binary whose path is
+// hardcoded in its own image — the signature Trojan pattern of the
+// paper's §4.1.
+const suspect = `
+.text
+_start:
+    mov ebx, prog       ; hardcoded "/bin/ls"
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 11         ; SYS_execve
+    int 0x80
+    hlt
+.data
+prog: .asciz "/bin/ls"
+`
+
+func main() {
+	sys := hth.NewSystem()
+
+	// A stand-in for /bin/ls so the execve has a target.
+	sys.MustInstallSource("/bin/ls", ".text\n_start: hlt\n")
+	sys.MustInstallSource("/bin/suspect", suspect)
+
+	res, err := sys.Run(hth.DefaultConfig(), hth.RunSpec{Path: "/bin/suspect"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("guest executed %d instructions, exit code %d\n\n",
+		res.TotalSteps, res.Process.ExitCode)
+	fmt.Print(res.Report())
+
+	if sev, any := res.MaxSeverity(); any {
+		fmt.Printf("max severity: %s\n", sev)
+	} else {
+		fmt.Println("clean run")
+	}
+}

@@ -1,0 +1,65 @@
+// Resource abuse: the superforker scenario of paper §8.3.7. A fork
+// bomb is caught twice — first when the number of created processes
+// crosses the count threshold (Low), then when the creation *rate*
+// crosses the rate threshold (Medium). The example also shows policy
+// tuning: lowering the thresholds catches the bomb earlier.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hth "repro"
+)
+
+const forkBomb = `
+.text
+_start:
+    mov esi, 14         ; generations
+loop:
+    mov eax, 2          ; SYS_fork
+    int 0x80
+    cmp eax, 0
+    jz child
+    dec esi
+    cmp esi, 0
+    jnz loop
+    hlt
+child:
+    ; each child idles briefly, then exits
+    mov ebx, 1500
+    mov eax, 162        ; SYS_nanosleep
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`
+
+func main() {
+	fmt.Println("=== default thresholds (count >= 8, rate >= 8) ===")
+	run(hth.DefaultConfig())
+
+	fmt.Println("=== strict policy (count >= 3, rate >= 4) ===")
+	cfg := hth.DefaultConfig()
+	cfg.Policy.CloneCountHigh = 3
+	cfg.Policy.CloneRateHigh = 4
+	run(cfg)
+}
+
+func run(cfg hth.Config) {
+	sys := hth.NewSystem()
+	sys.MustInstallSource("/bin/bomb", forkBomb)
+	res, err := sys.Run(cfg, hth.RunSpec{Path: "/bin/bomb"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+	live := 0
+	for _, p := range sys.OS.Processes() {
+		if p.Alive() {
+			live++
+		}
+	}
+	fmt.Printf("processes created: %d, warnings: %d\n\n",
+		len(sys.OS.Processes()), len(res.Warnings))
+}

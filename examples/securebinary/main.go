@@ -1,0 +1,93 @@
+// Secure Binary: the static verifier of the paper's Appendix B. A
+// "Secure Binary" hardcodes no resource names and writes no hardcoded
+// data — it is *safer* (not safe) with respect to Trojan Horses.
+//
+// The example checks two programs: a well-behaved filter that takes
+// everything from the command line, and a Trojan dropper — then shows
+// that the dynamic monitor agrees with the static verdicts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hth "repro"
+	"repro/internal/asm"
+	"repro/internal/secbin"
+)
+
+const wellBehaved = `
+.text
+_start:
+    mov ebp, [esp+4]
+    mov ebx, [ebp+4]    ; input file from argv
+    mov ecx, 0
+    mov eax, 5          ; open
+    int 0x80
+    mov ebx, eax
+    mov ecx, buf
+    mov edx, 32
+    mov eax, 3          ; read
+    int 0x80
+    mov esi, eax
+    mov ebx, [ebp+8]    ; output file from argv
+    mov eax, 8          ; creat
+    int 0x80
+    mov ebx, eax
+    mov ecx, buf
+    mov edx, esi
+    mov eax, 4          ; write (runtime data)
+    int 0x80
+    hlt
+.data
+buf: .space 32
+`
+
+const dropper = `
+.text
+_start:
+    mov ebx, path
+    mov eax, 8          ; creat(hardcoded)
+    int 0x80
+    mov ebx, eax
+    mov ecx, payload
+    mov edx, 8
+    mov eax, 4          ; write(hardcoded data)
+    int 0x80
+    mov ebx, path
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 11         ; execve(hardcoded)
+    int 0x80
+    hlt
+.data
+path:    .asciz "/tmp/.hidden"
+payload: .asciz "EVILCODE"
+`
+
+func main() {
+	for _, prog := range []struct{ name, src string }{
+		{"/bin/filter", wellBehaved},
+		{"/bin/dropper", dropper},
+	} {
+		img, err := asm.Assemble(prog.name, prog.src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := secbin.Verify(img)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(rep)
+	}
+
+	// The dynamic monitor reaches the same conclusion at run time.
+	fmt.Println("\n--- dynamic check of /bin/dropper ---")
+	sys := hth.NewSystem()
+	sys.MustInstallSource("/bin/dropper", dropper)
+	res, err := sys.Run(hth.DefaultConfig(), hth.RunSpec{Path: "/bin/dropper"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Report())
+}

@@ -1,0 +1,330 @@
+// Package hth is the public API of the HTH (Hunting Trojan Horses)
+// framework — a reproduction of Moffie & Kaeli, "Hunting Trojan
+// Horses" (NUCAR TR-01, 2006). HTH couples Harrier, a run-time monitor
+// that virtualizes a guest program and tracks its data flow, system
+// calls and basic-block frequencies, with Secpert, a CLIPS-style
+// security expert system that matches the observed behaviour against a
+// Trojan/Backdoor policy and warns with Low/Medium/High severity.
+//
+// A minimal session:
+//
+//	sys := hth.NewSystem()
+//	sys.InstallSource("/bin/suspect", srcText)
+//	res, err := sys.Run(hth.DefaultConfig(), hth.RunSpec{Path: "/bin/suspect"})
+//	for _, w := range res.Warnings {
+//	    fmt.Println(w)
+//	}
+//
+// The guest world is fully simulated: programs are written in the
+// guest assembly language of internal/asm, executed on the virtual OS
+// of internal/vos, and may talk to scripted remote peers on the
+// simulated network. See DESIGN.md for the substitution argument.
+package hth
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/expert"
+	"repro/internal/guestlib"
+	"repro/internal/harrier"
+	"repro/internal/image"
+	"repro/internal/secpert"
+	"repro/internal/vos"
+)
+
+// Re-exported severity levels (paper §4).
+const (
+	Low    = secpert.Low
+	Medium = secpert.Medium
+	High   = secpert.High
+)
+
+// Config assembles the monitor and policy configuration for one run.
+type Config struct {
+	// Policy is Secpert's rule configuration.
+	Policy secpert.Config
+	// Monitor is Harrier's instrumentation configuration.
+	Monitor harrier.Config
+	// Advisor decides continue/kill per warning; nil continues always.
+	Advisor secpert.Advisor
+	// Unmonitored runs the guest without Harrier attached (native
+	// speed; the §9 baseline).
+	Unmonitored bool
+	// MaxSteps caps total guest instructions (0 = generous default).
+	MaxSteps uint64
+	// Verbose, when set, receives Secpert's CLIPS-style fire trace
+	// and warning printout as the run progresses.
+	Verbose io.Writer
+	// TraceAsserts additionally echoes every event fact asserted
+	// into the expert system (the Appendix A.1 transcript style);
+	// requires Verbose.
+	TraceAsserts bool
+}
+
+// DefaultConfig mirrors the paper's prototype: full instrumentation,
+// libc.so/ld-linux.so trusted, continue past warnings.
+func DefaultConfig() Config {
+	return Config{
+		Policy:  secpert.DefaultConfig(),
+		Monitor: harrier.DefaultConfig(),
+	}
+}
+
+// RunSpec names the program to execute.
+type RunSpec struct {
+	Path  string
+	Argv  []string
+	Env   []string
+	Stdin []byte
+}
+
+// Result is the outcome of one monitored run.
+type Result struct {
+	// Warnings are Secpert's alerts in emission order.
+	Warnings []secpert.Warning
+	// Trace is the expert engine's rule-fire history.
+	Trace []expert.FireRecord
+	// Console is everything the guest tree wrote to stdout/stderr.
+	Console []byte
+	// Process is the root guest process (inspect exit state).
+	Process *vos.Process
+	// Stats counts Harrier's instrumentation work (zero when
+	// unmonitored).
+	Stats harrier.Stats
+	// Events is the EventAnalyzer transcript: every event sent to
+	// Secpert with its verdict, in order (empty when unmonitored or
+	// when Monitor.KeepEventLog is off).
+	Events []harrier.LogEntry
+	// TotalSteps is the number of guest instructions executed.
+	TotalSteps uint64
+	// RunErr is a scheduler-level outcome (vos.ErrDeadlock or
+	// vos.ErrBudget) — not a setup failure.
+	RunErr error
+	// Secpert is the expert-system instance (nil when unmonitored).
+	Secpert *secpert.Secpert
+}
+
+// MaxSeverity returns the highest warning severity and whether any
+// warning was issued.
+func (r *Result) MaxSeverity() (secpert.Severity, bool) {
+	if r.Secpert == nil {
+		return secpert.Low, false
+	}
+	return r.Secpert.MaxSeverity()
+}
+
+// HasWarning reports whether any warning was issued by the named rule.
+func (r *Result) HasWarning(rule string) bool {
+	for _, w := range r.Warnings {
+		if w.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// CountAt returns how many warnings have exactly the given severity.
+func (r *Result) CountAt(sev secpert.Severity) int {
+	n := 0
+	for _, w := range r.Warnings {
+		if w.Severity == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Report renders the warnings as the paper prints them.
+func (r *Result) Report() string {
+	if len(r.Warnings) == 0 {
+		return "No warnings.\n"
+	}
+	var b strings.Builder
+	for _, w := range r.Warnings {
+		fmt.Fprintf(&b, "%s\n\n", w)
+	}
+	return b.String()
+}
+
+// System is a guest world under construction: a virtual OS with
+// guestlib installed, programs, files, and network peers.
+type System struct {
+	// OS is the underlying virtual machine, exposed for advanced
+	// setups (scheduled connections, extra hosts).
+	OS *vos.OS
+}
+
+// NewSystem creates a guest world with libc.so and ld-linux.so
+// installed.
+func NewSystem() *System {
+	os := vos.New(vos.Options{})
+	guestlib.InstallInto(os)
+	return &System{OS: os}
+}
+
+// Install places an executable image at path.
+func (s *System) Install(path string, img *image.Image) {
+	s.OS.FS.Install(path, img)
+}
+
+// InstallSource assembles src and installs it at path.
+func (s *System) InstallSource(path, src string) error {
+	img, err := asm.Assemble(path, src)
+	if err != nil {
+		return err
+	}
+	s.OS.FS.Install(path, img)
+	return nil
+}
+
+// MustInstallSource is InstallSource for statically known-good
+// sources; it panics on assembly errors.
+func (s *System) MustInstallSource(path, src string) {
+	if err := s.InstallSource(path, src); err != nil {
+		panic(err)
+	}
+}
+
+// CreateFile places a plain file in the guest filesystem.
+func (s *System) CreateFile(path string, data []byte) {
+	s.OS.FS.Create(path, data)
+}
+
+// AddHost registers a hostname for the guest's gethostbyname.
+func (s *System) AddHost(name, addr string) { s.OS.Net.AddHost(name, addr) }
+
+// AddRemote registers a scripted remote service the guest can connect
+// to.
+func (s *System) AddRemote(endpoint string, factory func() vos.RemoteScript) {
+	s.OS.Net.AddRemote(endpoint, factory)
+}
+
+// ScheduleConnect arranges a scripted remote peer to dial a guest
+// listener at the given virtual time.
+func (s *System) ScheduleConnect(at uint64, addr, from string, script vos.RemoteScript) {
+	s.OS.Net.ScheduleConnect(at, addr, from, script)
+}
+
+// Run executes the program under the given configuration and returns
+// the monitored outcome. Setup failures (missing program, assembly
+// errors) return an error; scheduler outcomes land in Result.RunErr.
+func (s *System) Run(cfg Config, spec RunSpec) (*Result, error) {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 50_000_000
+	}
+	s.OS.SetMaxSteps(cfg.MaxSteps)
+
+	var (
+		h   *harrier.Harrier
+		sec *secpert.Secpert
+	)
+	pspec := vos.ProcSpec{
+		Path:  spec.Path,
+		Argv:  spec.Argv,
+		Env:   spec.Env,
+		Stdin: spec.Stdin,
+	}
+	if !cfg.Unmonitored {
+		sec = secpert.New(cfg.Policy, cfg.Advisor)
+		if cfg.Verbose != nil {
+			sec.SetOutput(cfg.Verbose)
+			if cfg.TraceAsserts {
+				sec.SetAssertEcho(cfg.Verbose)
+			}
+		}
+		h = harrier.New(cfg.Monitor, sec)
+		pspec.Monitor = h
+		pspec.Store = h.Store
+	}
+
+	p, err := s.OS.StartProcess(pspec)
+	if err != nil {
+		return nil, err
+	}
+	runErr := s.OS.Run()
+
+	res := &Result{
+		Console:    append([]byte(nil), s.OS.Console...),
+		Process:    p,
+		TotalSteps: s.OS.TotalSteps,
+		RunErr:     runErr,
+	}
+	if h != nil {
+		sec.FinishSession() // commit cross-session history, if any
+		res.Warnings = sec.Warnings()
+		res.Trace = sec.Trace()
+		res.Stats = h.Stats()
+		res.Events = h.EventLog()
+		res.Secpert = sec
+	}
+	return res, nil
+}
+
+// Session monitors one or more programs with a single Secpert
+// instance — the "simultaneous sessions" extension of paper §10 item
+// 7: resource provenance observed while monitoring one program
+// informs the analysis of the others.
+type Session struct {
+	sys   *System
+	cfg   Config
+	sec   *secpert.Secpert
+	h     *harrier.Harrier
+	procs []*vos.Process
+}
+
+// NewSession creates a shared monitoring session on this system.
+func (s *System) NewSession(cfg Config) *Session {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 50_000_000
+	}
+	s.OS.SetMaxSteps(cfg.MaxSteps)
+	sec := secpert.New(cfg.Policy, cfg.Advisor)
+	if cfg.Verbose != nil {
+		sec.SetOutput(cfg.Verbose)
+	}
+	h := harrier.New(cfg.Monitor, sec)
+	return &Session{sys: s, cfg: cfg, sec: sec, h: h}
+}
+
+// Start launches a program under this session's shared monitor. The
+// program does not run until Wait.
+func (sn *Session) Start(spec RunSpec) (*vos.Process, error) {
+	p, err := sn.sys.OS.StartProcess(vos.ProcSpec{
+		Path:    spec.Path,
+		Argv:    spec.Argv,
+		Env:     spec.Env,
+		Stdin:   spec.Stdin,
+		Monitor: sn.h,
+		Store:   sn.h.Store,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sn.procs = append(sn.procs, p)
+	return p, nil
+}
+
+// Wait runs every started program to completion and returns the
+// combined result (Process is the first started program).
+func (sn *Session) Wait() (*Result, error) {
+	if len(sn.procs) == 0 {
+		return nil, fmt.Errorf("hth: session has no started programs")
+	}
+	runErr := sn.sys.OS.Run()
+	sn.sec.FinishSession()
+	res := &Result{
+		Warnings:   sn.sec.Warnings(),
+		Trace:      sn.sec.Trace(),
+		Console:    append([]byte(nil), sn.sys.OS.Console...),
+		Process:    sn.procs[0],
+		Stats:      sn.h.Stats(),
+		Events:     sn.h.EventLog(),
+		TotalSteps: sn.sys.OS.TotalSteps,
+		RunErr:     runErr,
+		Secpert:    sn.sec,
+	}
+	return res, nil
+}

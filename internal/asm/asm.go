@@ -1,0 +1,658 @@
+// Package asm assembles the textual guest assembly language into
+// loadable images. The corpus programs used to reproduce the paper's
+// evaluation (internal/corpus) are written in this language, so the
+// assembler plays the role of the toolchain that produced the binaries
+// HTH monitored in the paper.
+//
+// Syntax overview:
+//
+//	.image "a.out"          ; set the image name (optional)
+//	.import "libc.so"       ; link against a shared object
+//	.entry _start           ; entry symbol for executables
+//	.text
+//	_start:
+//	    mov  ebx, path      ; symbol references relocate at load time
+//	    mov  eax, 11        ; SYS_execve
+//	    int  0x80
+//	    hlt
+//	.data
+//	path: .asciz "/bin/ls"
+//	buf:  .space 64
+//
+// Operands: registers (eax..edi), immediates (decimal, 0x hex,
+// negative, 'c' char), symbols with optional ±offset, and memory
+// operands [disp], [sym], [reg], [reg+disp], [reg+sym+disp].
+// Comments run from ';' or '#' to end of line.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+)
+
+// Error is an assembly diagnostic with its source line.
+type Error struct {
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Msg) }
+
+// ErrorList is the set of diagnostics produced by one Assemble call.
+type ErrorList []*Error
+
+func (el ErrorList) Error() string {
+	parts := make([]string, 0, len(el))
+	for _, e := range el {
+		parts = append(parts, e.Error())
+	}
+	return "asm: " + strings.Join(parts, "; ")
+}
+
+type assembler struct {
+	img     *image.Image
+	cur     int // current section index, -1 if none
+	errs    ErrorList
+	line    int
+	natives map[string]int
+}
+
+// Assemble translates src into an image named name.
+func Assemble(name, src string) (*image.Image, error) {
+	a := &assembler{img: image.New(name), cur: -1, natives: map[string]int{}}
+	for i, raw := range strings.Split(src, "\n") {
+		a.line = i + 1
+		a.doLine(raw)
+		if len(a.errs) > 20 {
+			break
+		}
+	}
+	if len(a.errs) == 0 {
+		a.checkUndefined()
+	}
+	if len(a.errs) > 0 {
+		return nil, a.errs
+	}
+	if err := a.img.Validate(); err != nil {
+		return nil, err
+	}
+	return a.img, nil
+}
+
+// checkUndefined reports symbols that cannot possibly resolve: images
+// with no imports must define every referenced symbol themselves.
+// Images with imports defer resolution to the loader.
+func (a *assembler) checkUndefined() {
+	if len(a.img.Imports) > 0 {
+		return
+	}
+	seen := map[string]bool{}
+	for _, r := range a.img.Relocs {
+		if _, ok := a.img.Symbols[r.Symbol]; !ok && !seen[r.Symbol] {
+			seen[r.Symbol] = true
+			a.errorf("undefined symbol %q", r.Symbol)
+		}
+	}
+	for _, r := range a.img.DataRels {
+		if _, ok := a.img.Symbols[r.Symbol]; !ok && !seen[r.Symbol] {
+			seen[r.Symbol] = true
+			a.errorf("undefined symbol %q", r.Symbol)
+		}
+	}
+}
+
+// MustAssemble is Assemble for statically known-good sources (the
+// corpus); it panics on error.
+func MustAssemble(name, src string) *image.Image {
+	img, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return img
+}
+
+func (a *assembler) errorf(format string, args ...any) {
+	a.errs = append(a.errs, &Error{Line: a.line, Msg: fmt.Sprintf(format, args...)})
+}
+
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case ';', '#':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func (a *assembler) doLine(raw string) {
+	s := strings.TrimSpace(stripComment(raw))
+	// Labels (possibly several) at line start.
+	for {
+		idx := strings.Index(s, ":")
+		if idx <= 0 {
+			break
+		}
+		candidate := strings.TrimSpace(s[:idx])
+		if !isIdent(candidate) {
+			break
+		}
+		a.defineLabel(candidate)
+		s = strings.TrimSpace(s[idx+1:])
+	}
+	if s == "" {
+		return
+	}
+	if strings.HasPrefix(s, ".") {
+		a.doDirective(s)
+		return
+	}
+	a.doInstr(s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) section(name string, kind image.SectionKind) int {
+	for i := range a.img.Sections {
+		if a.img.Sections[i].Name == name {
+			return i
+		}
+	}
+	a.img.Sections = append(a.img.Sections, image.Section{Name: name, Kind: kind})
+	return len(a.img.Sections) - 1
+}
+
+func (a *assembler) need(kind image.SectionKind) *image.Section {
+	if a.cur < 0 {
+		switch kind {
+		case image.Text:
+			a.cur = a.section(".text", image.Text)
+		default:
+			a.cur = a.section(".data", image.Data)
+		}
+	}
+	return &a.img.Sections[a.cur]
+}
+
+func (a *assembler) defineLabel(name string) {
+	sec := a.need(image.Text)
+	if _, dup := a.img.Symbols[name]; dup {
+		a.errorf("duplicate symbol %q", name)
+		return
+	}
+	off := len(sec.Data)
+	if sec.Kind == image.Text {
+		off = len(sec.Instrs)
+	}
+	a.img.Symbols[name] = image.Symbol{Section: a.cur, Offset: off}
+}
+
+func (a *assembler) doDirective(s string) {
+	fields := splitOperands(s)
+	head := strings.Fields(fields[0])
+	dir := head[0]
+	rest := strings.TrimSpace(strings.TrimPrefix(fields[0], dir))
+	args := append([]string{rest}, fields[1:]...)
+	if rest == "" {
+		args = fields[1:]
+	}
+
+	switch dir {
+	case ".text":
+		a.cur = a.section(".text", image.Text)
+	case ".data":
+		a.cur = a.section(".data", image.Data)
+	case ".rodata":
+		a.cur = a.section(".rodata", image.ROData)
+	case ".image":
+		if name, ok := a.quoted(args); ok {
+			a.img.Name = name
+		}
+	case ".entry":
+		if len(args) != 1 {
+			a.errorf(".entry takes one symbol")
+			return
+		}
+		a.img.Entry = strings.TrimSpace(args[0])
+	case ".import":
+		if name, ok := a.quoted(args); ok {
+			a.img.Imports = append(a.img.Imports, name)
+		}
+	case ".global":
+		// All symbols are global in this format; accepted for
+		// familiarity.
+	case ".asciz", ".ascii":
+		sec := a.need(image.Data)
+		if sec.Kind == image.Text {
+			a.errorf("%s in text section", dir)
+			return
+		}
+		str, ok := a.quoted(args)
+		if !ok {
+			return
+		}
+		sec.Data = append(sec.Data, []byte(str)...)
+		if dir == ".asciz" {
+			sec.Data = append(sec.Data, 0)
+		}
+	case ".byte":
+		sec := a.need(image.Data)
+		if sec.Kind == image.Text {
+			a.errorf(".byte in text section")
+			return
+		}
+		for _, arg := range args {
+			v, ok := a.number(strings.TrimSpace(arg))
+			if !ok {
+				return
+			}
+			sec.Data = append(sec.Data, byte(v))
+		}
+	case ".word":
+		sec := a.need(image.Data)
+		if sec.Kind == image.Text {
+			a.errorf(".word in text section")
+			return
+		}
+		for _, arg := range args {
+			arg = strings.TrimSpace(arg)
+			if v, ok := a.tryNumber(arg); ok {
+				sec.Data = append(sec.Data, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+				continue
+			}
+			sym, addend, ok := a.symbolExpr(arg)
+			if !ok {
+				a.errorf("bad .word operand %q", arg)
+				return
+			}
+			a.img.DataRels = append(a.img.DataRels, image.DataReloc{
+				Section: a.cur, Offset: len(sec.Data), Symbol: sym, Addend: addend,
+			})
+			sec.Data = append(sec.Data, 0, 0, 0, 0)
+		}
+	case ".space":
+		sec := a.need(image.Data)
+		if sec.Kind == image.Text {
+			a.errorf(".space in text section")
+			return
+		}
+		if len(args) < 1 {
+			a.errorf(".space takes a size")
+			return
+		}
+		n, ok := a.number(strings.TrimSpace(args[0]))
+		if !ok {
+			return
+		}
+		fill := byte(0)
+		if len(args) > 1 {
+			f, ok := a.number(strings.TrimSpace(args[1]))
+			if !ok {
+				return
+			}
+			fill = byte(f)
+		}
+		for i := uint32(0); i < n; i++ {
+			sec.Data = append(sec.Data, fill)
+		}
+	case ".native":
+		sec := a.need(image.Text)
+		if sec.Kind != image.Text {
+			a.errorf(".native outside text section")
+			return
+		}
+		if len(args) != 1 {
+			a.errorf(".native takes one name")
+			return
+		}
+		name := strings.TrimSpace(args[0])
+		idx, ok := a.natives[name]
+		if !ok {
+			idx = len(a.img.Natives)
+			a.img.Natives = append(a.img.Natives, name)
+			a.natives[name] = idx
+		}
+		sec.Instrs = append(sec.Instrs, isa.Instr{Op: isa.NATIVE, Native: idx, Line: a.line})
+	default:
+		a.errorf("unknown directive %s", dir)
+	}
+}
+
+func (a *assembler) quoted(args []string) (string, bool) {
+	if len(args) != 1 {
+		a.errorf("expected one quoted string")
+		return "", false
+	}
+	s := strings.TrimSpace(args[0])
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		a.errorf("expected quoted string, got %q", s)
+		return "", false
+	}
+	out, err := unescape(s[1 : len(s)-1])
+	if err != nil {
+		a.errorf("%v", err)
+		return "", false
+	}
+	return out, true
+}
+
+func unescape(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("dangling escape")
+		}
+		switch s[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case 'r':
+			b.WriteByte('\r')
+		case '0':
+			b.WriteByte(0)
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		case 'x':
+			if i+2 >= len(s) {
+				return "", fmt.Errorf("truncated \\x escape")
+			}
+			v, err := strconv.ParseUint(s[i+1:i+3], 16, 8)
+			if err != nil {
+				return "", fmt.Errorf("bad \\x escape: %v", err)
+			}
+			b.WriteByte(byte(v))
+			i += 2
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", s[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// splitOperands splits on commas that are outside quotes and brackets.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '[':
+			if !inStr {
+				depth++
+			}
+		case ']':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func (a *assembler) doInstr(s string) {
+	sec := a.need(image.Text)
+	if sec.Kind != image.Text {
+		a.errorf("instruction outside text section")
+		return
+	}
+	mnemonic := s
+	rest := ""
+	if i := strings.IndexAny(s, " \t"); i >= 0 {
+		mnemonic, rest = s[:i], strings.TrimSpace(s[i+1:])
+	}
+	op, ok := isa.OpByName(strings.ToLower(mnemonic))
+	if !ok {
+		a.errorf("unknown mnemonic %q", mnemonic)
+		return
+	}
+	var operands []string
+	if rest != "" {
+		operands = splitOperands(rest)
+	}
+	in := isa.Instr{Op: op, Line: a.line}
+	instrIdx := len(sec.Instrs)
+	if len(operands) > 0 {
+		in.A = a.parseOperand(strings.TrimSpace(operands[0]), instrIdx, image.SlotA)
+	}
+	if len(operands) > 1 {
+		in.B = a.parseOperand(strings.TrimSpace(operands[1]), instrIdx, image.SlotB)
+	}
+	if len(operands) > 2 {
+		a.errorf("too many operands")
+		return
+	}
+	if err := checkArity(op, len(operands)); err != "" {
+		a.errorf("%s", err)
+		return
+	}
+	sec.Instrs = append(sec.Instrs, in)
+}
+
+func checkArity(op isa.Op, n int) string {
+	want := map[isa.Op][2]int{
+		isa.NOP: {0, 0}, isa.HLT: {0, 0}, isa.RET: {0, 0},
+		isa.CPUID: {0, 0}, isa.RDTSC: {0, 0},
+		isa.MOV: {2, 2}, isa.MOVB: {2, 2}, isa.LEA: {2, 2},
+		isa.ADD: {2, 2}, isa.SUB: {2, 2}, isa.AND: {2, 2}, isa.OR: {2, 2},
+		isa.XOR: {2, 2}, isa.MUL: {2, 2}, isa.DIVOP: {2, 2}, isa.MODOP: {2, 2},
+		isa.SHL: {2, 2}, isa.SHR: {2, 2},
+		isa.CMP: {2, 2}, isa.TEST: {2, 2},
+		isa.NOT: {1, 1}, isa.NEG: {1, 1}, isa.INC: {1, 1}, isa.DEC: {1, 1},
+		isa.PUSH: {1, 1}, isa.POP: {1, 1},
+		isa.JMP: {1, 1}, isa.JZ: {1, 1}, isa.JNZ: {1, 1},
+		isa.JL: {1, 1}, isa.JLE: {1, 1}, isa.JG: {1, 1}, isa.JGE: {1, 1},
+		isa.CALL: {1, 1}, isa.INT: {1, 1},
+	}
+	w, ok := want[op]
+	if !ok {
+		return fmt.Sprintf("mnemonic %v not writable in assembly", op)
+	}
+	if n < w[0] || n > w[1] {
+		return fmt.Sprintf("%v takes %d operand(s), got %d", op, w[0], n)
+	}
+	return ""
+}
+
+// parseOperand parses a single operand, emitting a relocation when it
+// references a symbol.
+func (a *assembler) parseOperand(s string, instr int, slot image.OperandSlot) isa.Operand {
+	if s == "" {
+		a.errorf("empty operand")
+		return isa.Operand{}
+	}
+	if s[0] == '[' {
+		if s[len(s)-1] != ']' {
+			a.errorf("unterminated memory operand %q", s)
+			return isa.Operand{}
+		}
+		return a.parseMem(s[1:len(s)-1], instr, slot)
+	}
+	if r, ok := isa.RegByName(strings.ToLower(s)); ok {
+		return isa.R(r)
+	}
+	if v, ok := a.tryNumber(s); ok {
+		return isa.Imm(v)
+	}
+	sym, addend, ok := a.symbolExpr(s)
+	if !ok {
+		a.errorf("bad operand %q", s)
+		return isa.Operand{}
+	}
+	a.img.Relocs = append(a.img.Relocs, image.Reloc{
+		Section: a.cur, Instr: instr, Slot: slot, Symbol: sym,
+	})
+	return isa.Imm(addend)
+}
+
+// parseMem parses the inside of a bracketed memory operand: a sum of
+// terms, each a register (at most one), a number, or a symbol (at most
+// one, relocated).
+func (a *assembler) parseMem(s string, instr int, slot image.OperandSlot) isa.Operand {
+	op := isa.Operand{Kind: isa.MemOperand}
+	haveSym := false
+	for _, term := range splitTerms(s) {
+		t := strings.TrimSpace(term.text)
+		if t == "" {
+			a.errorf("empty term in memory operand [%s]", s)
+			return isa.Operand{}
+		}
+		if r, ok := isa.RegByName(strings.ToLower(t)); ok {
+			if op.HasBase {
+				a.errorf("two base registers in [%s]", s)
+				return isa.Operand{}
+			}
+			if term.neg {
+				a.errorf("negated register in [%s]", s)
+				return isa.Operand{}
+			}
+			op.HasBase, op.Reg = true, r
+			continue
+		}
+		if v, ok := a.tryNumber(t); ok {
+			if term.neg {
+				v = -v
+			}
+			op.Imm += v
+			continue
+		}
+		if isIdent(t) {
+			if haveSym || term.neg {
+				a.errorf("bad symbol use in [%s]", s)
+				return isa.Operand{}
+			}
+			haveSym = true
+			a.img.Relocs = append(a.img.Relocs, image.Reloc{
+				Section: a.cur, Instr: instr, Slot: slot, Symbol: t,
+			})
+			continue
+		}
+		a.errorf("bad term %q in memory operand", t)
+		return isa.Operand{}
+	}
+	return op
+}
+
+type term struct {
+	text string
+	neg  bool
+}
+
+func splitTerms(s string) []term {
+	var out []term
+	start := 0
+	neg := false
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == '+' || s[i] == '-' {
+			if i > start {
+				out = append(out, term{text: s[start:i], neg: neg})
+			}
+			if i < len(s) {
+				neg = s[i] == '-'
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+// symbolExpr parses "sym", "sym+N" or "sym-N".
+func (a *assembler) symbolExpr(s string) (sym string, addend uint32, ok bool) {
+	idx := strings.IndexAny(s, "+-")
+	if idx < 0 {
+		if !isIdent(s) {
+			return "", 0, false
+		}
+		return s, 0, true
+	}
+	name := strings.TrimSpace(s[:idx])
+	if !isIdent(name) {
+		return "", 0, false
+	}
+	v, okN := a.tryNumber(strings.TrimSpace(s[idx+1:]))
+	if !okN {
+		return "", 0, false
+	}
+	if s[idx] == '-' {
+		v = -v
+	}
+	return name, v, true
+}
+
+func (a *assembler) number(s string) (uint32, bool) {
+	v, ok := a.tryNumber(s)
+	if !ok {
+		a.errorf("bad number %q", s)
+	}
+	return v, ok
+}
+
+func (a *assembler) tryNumber(s string) (uint32, bool) {
+	if s == "" {
+		return 0, false
+	}
+	if len(s) >= 3 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		body, err := unescape(s[1 : len(s)-1])
+		if err != nil || len(body) != 1 {
+			return 0, false
+		}
+		return uint32(body[0]), true
+	}
+	neg := false
+	if s[0] == '-' {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(s, 0, 32)
+	if err != nil {
+		return 0, false
+	}
+	out := uint32(v)
+	if neg {
+		out = -out
+	}
+	return out, true
+}

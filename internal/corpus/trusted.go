@@ -1,0 +1,608 @@
+package corpus
+
+import (
+	hth "repro"
+	"repro/internal/secpert"
+)
+
+// Table 7 / §8.2 — Trusted programs. Each guest reproduces the
+// system-call behaviour the paper describes for the real utility, and
+// the expectation encodes the paper's reported outcome: most are
+// clean; make/g++ draw Low warnings for their hardcoded sub-programs;
+// pico draws a spurious High (a documented prototype gap); xeyes
+// draws only Low warnings.
+
+// catLike generates a utility that opens argv[1], reads it, and
+// writes the data to stdout.
+const catLike = `
+.text
+_start:
+    mov ebp, [esp+4]
+    mov ebx, [ebp+4]    ; argv[1]
+    mov ecx, 0
+    mov eax, 5          ; open
+    int 0x80
+    mov ebx, eax
+    mov ecx, buf
+    mov edx, 64
+    mov eax, 3          ; read
+    int 0x80
+    mov edx, eax
+    mov ecx, buf
+    mov ebx, 1          ; stdout
+    mov eax, 4          ; write
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+buf: .space 64
+`
+
+func catScenario(name, row, desc string) {
+	bin := "/usr/bin/" + name
+	register(&Scenario{
+		Name:  name,
+		Table: "T7",
+		Row:   row,
+		Desc:  desc,
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource(bin, catLike)
+			sys.CreateFile("/home/user/input.txt", []byte("some user content here.\n"))
+		},
+		Spec:   hth.RunSpec{Path: bin, Argv: []string{bin, "/home/user/input.txt"}},
+		Expect: Expectation{Clean: true},
+	})
+}
+
+func init() {
+	// ls: opens "." (a hardcoded name) and prints the listing; HTH
+	// detects the hardcoded open but issues no warning (§8.2.1).
+	register(&Scenario{
+		Name:  "ls",
+		Table: "T7",
+		Row:   "ls",
+		Desc:  "directory listing to stdout; the hardcoded \".\" draws no warning",
+		Setup: func(sys *hth.System) {
+			sys.CreateFile("/etc/motd", []byte("hi"))
+			sys.MustInstallSource("/bin/ls-real", `
+.text
+_start:
+    mov ebx, dot
+    mov ecx, 0
+    mov eax, 5          ; open(".")
+    int 0x80
+    mov ebx, eax
+    mov ecx, buf
+    mov edx, 256
+    mov eax, 3
+    int 0x80
+    mov edx, eax
+    mov ecx, buf
+    mov ebx, 1
+    mov eax, 4
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+dot: .asciz "."
+buf: .space 256
+`)
+		},
+		Spec:   hth.RunSpec{Path: "/bin/ls-real"},
+		Expect: Expectation{Clean: true},
+	})
+
+	// column: prints the content of three user-named files (§8.2.2).
+	register(&Scenario{
+		Name:  "column",
+		Table: "T7",
+		Row:   "column",
+		Desc:  "'column a b c': all three file names come from the command line",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/usr/bin/column", `
+.text
+_start:
+    mov ebp, [esp+4]
+    mov edi, 1          ; argv index
+nextfile:
+    mov esi, [esp]      ; argc
+    cmp edi, esi
+    jge done
+    mov eax, edi
+    mul eax, 4
+    add eax, ebp
+    mov ebx, [eax]      ; argv[edi]
+    mov ecx, 0
+    mov eax, 5          ; open
+    int 0x80
+    mov ebx, eax
+    mov ecx, buf
+    mov edx, 64
+    mov eax, 3          ; read
+    int 0x80
+    mov edx, eax
+    mov ecx, buf
+    mov ebx, 1
+    mov eax, 4          ; write to stdout
+    int 0x80
+    inc edi
+    jmp nextfile
+done:
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+buf: .space 64
+`)
+			sys.CreateFile("a", []byte("aaa\n"))
+			sys.CreateFile("b", []byte("bbb\n"))
+			sys.CreateFile("c", []byte("ccc\n"))
+		},
+		Spec:   hth.RunSpec{Path: "/usr/bin/column", Argv: []string{"/usr/bin/column", "a", "b", "c"}},
+		Expect: Expectation{Clean: true},
+	})
+
+	// make with nothing to do: opens its makefile, decides nothing
+	// needs building (§8.2.3, first test).
+	register(&Scenario{
+		Name:  "make-nothing",
+		Table: "T7",
+		Row:   "make (up to date)",
+		Desc:  "make when the target is already built: reads the makefile, no warning",
+		Setup: func(sys *hth.System) {
+			sys.CreateFile("makefile", []byte("all: harrier\n"))
+			sys.MustInstallSource("/usr/bin/make", `
+.text
+_start:
+    mov ebx, mf
+    mov ecx, 0
+    mov eax, 5
+    int 0x80
+    mov ebx, eax
+    mov ecx, buf
+    mov edx, 64
+    mov eax, 3
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+mf:  .asciz "makefile"
+buf: .space 64
+`)
+		},
+		Spec:   hth.RunSpec{Path: "/usr/bin/make"},
+		Expect: Expectation{Clean: true},
+	})
+
+	// make clean: executes the hardcoded '/bin/sh' — Low (§8.2.3:
+	// "HTH issued a warning [Low] for a hardcoded execve system
+	// call: '/bin/sh' was hardcoded").
+	register(&Scenario{
+		Name:  "make-clean",
+		Table: "T7",
+		Row:   "make clean",
+		Desc:  "make clean spawns /bin/sh with a hardcoded path: one Low warning",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/bin/sh", trivialExe)
+			sys.CreateFile("makefile", []byte("clean:\n\trm -f harrier\n"))
+			sys.MustInstallSource("/usr/bin/make", `
+.text
+_start:
+    mov ebx, mf
+    mov ecx, 0
+    mov eax, 5
+    int 0x80
+    mov ebx, eax
+    mov ecx, buf
+    mov edx, 64
+    mov eax, 3
+    int 0x80
+    ; run the clean recipe through the shell
+    mov eax, 2          ; fork
+    int 0x80
+    cmp eax, 0
+    jz child
+    mov ebx, eax
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 7          ; waitpid
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+child:
+    mov ebx, sh
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 11         ; execve("/bin/sh")
+    int 0x80
+    hlt
+.data
+mf:  .asciz "makefile"
+sh:  .asciz "/bin/sh"
+buf: .space 64
+`)
+		},
+		Spec: hth.RunSpec{Path: "/usr/bin/make", Argv: []string{"/usr/bin/make", "clean"}},
+		Expect: Expectation{
+			ExactCount: 1,
+			Warnings: []ExpectWarning{{
+				Severity: secpert.Low, Rule: "check_execve",
+				Contains: `Found SYS_execve call ("/bin/sh")`,
+			}},
+		},
+	})
+
+	// make building: locates g++ through the PATH environment
+	// variable, so the executed name is hardcoded *and* user-
+	// originated (§8.2.3, third test) — Low warnings only.
+	register(&Scenario{
+		Name:  "make-build",
+		Table: "T7",
+		Row:   "make (building)",
+		Desc:  "make locates g++ via $PATH: execve name is part user (PATH), part hardcoded",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/usr/bin/g++", trivialExe)
+			sys.MustInstallSource("/usr/bin/make", `
+.import "libc.so"
+.text
+_start:
+    ; namebuf = env[0] + 5 (skip "PATH=") ++ "/g++"
+    mov esi, [esp+8]    ; envp array
+    mov ecx, [esi]      ; env[0] = "PATH=/usr/bin"
+    add ecx, 5
+    mov ebx, namebuf
+    call strcpy
+    mov ebx, namebuf
+    call strlen
+    mov ebx, namebuf
+    add ebx, eax
+    mov ecx, suffix
+    call strcpy
+    ; fork + execve(namebuf)
+    mov eax, 2
+    int 0x80
+    cmp eax, 0
+    jz child
+    mov ebx, eax
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 7
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+child:
+    mov ebx, namebuf
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 11
+    int 0x80
+    hlt
+.data
+suffix:  .asciz "/g++"
+namebuf: .space 64
+`)
+		},
+		Spec: hth.RunSpec{
+			Path: "/usr/bin/make",
+			Env:  []string{"PATH=/usr/bin"},
+		},
+		Expect: Expectation{
+			Capped: true, Cap: secpert.Low,
+			Warnings: []ExpectWarning{{
+				Severity: secpert.Low, Rule: "check_execve",
+				Contains: `Found SYS_execve call ("/usr/bin/g++")`,
+			}},
+		},
+	})
+
+	// g++: spawns the hardcoded cc1plus and collect2 — two Low
+	// warnings (§8.2.4).
+	register(&Scenario{
+		Name:  "g++",
+		Table: "T7",
+		Row:   "g++",
+		Desc:  "g++ executes hardcoded 'cc1plus' and 'collect2': two Low warnings",
+		Setup: func(sys *hth.System) {
+			installTools(sys, "/usr/libexec/cc1plus", "/usr/libexec/collect2")
+			sys.MustInstallSource("/usr/bin/g++", `
+.text
+_start:
+    mov edi, cc1
+    call spawn
+    mov edi, col2
+    call spawn
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+spawn:
+    mov eax, 2          ; fork
+    int 0x80
+    cmp eax, 0
+    jz spawn_child
+    mov ebx, eax
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 7          ; waitpid
+    int 0x80
+    ret
+spawn_child:
+    mov ebx, edi
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 11         ; execve
+    int 0x80
+    hlt
+.data
+cc1:  .asciz "/usr/libexec/cc1plus"
+col2: .asciz "/usr/libexec/collect2"
+`)
+		},
+		Spec: hth.RunSpec{Path: "/usr/bin/g++", Argv: []string{"/usr/bin/g++", "test.cpp", "DataFlow.C"}},
+		Expect: Expectation{
+			ExactCount: 2,
+			Capped:     true, Cap: secpert.Low,
+			Warnings: []ExpectWarning{
+				{Severity: secpert.Low, Contains: "cc1plus"},
+				{Severity: secpert.Low, Contains: "collect2"},
+			},
+		},
+	})
+
+	// awk / tail / diff / wc: user-named files to stdout — clean
+	// (§8.2.5, §8.2.7, §8.2.8, §8.2.9).
+	catScenario("awk", "awk", "awk '/ifdef/' file: matching lines from a user-named file to stdout")
+	catScenario("tail", "tail", "tail file: the end of a user-named file to stdout")
+	catScenario("wc", "wc", "wc file: counts derived from a user-named file to stdout")
+
+	register(&Scenario{
+		Name:  "diff",
+		Table: "T7",
+		Row:   "diff",
+		Desc:  "diff a b: output derives from both user-named files",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/usr/bin/diff", `
+.text
+_start:
+    mov ebp, [esp+4]
+    mov ebx, [ebp+4]    ; argv[1]
+    mov ecx, 0
+    mov eax, 5
+    int 0x80
+    mov ebx, eax
+    mov ecx, buf
+    mov edx, 32
+    mov eax, 3
+    int 0x80
+    mov ebx, [ebp+8]    ; argv[2]
+    mov ecx, 0
+    mov eax, 5
+    int 0x80
+    mov ebx, eax
+    mov ecx, buf2
+    mov edx, 32
+    mov eax, 3
+    int 0x80
+    ; "compare" and print both
+    mov ebx, 1
+    mov ecx, buf
+    mov edx, 32
+    mov eax, 4
+    int 0x80
+    mov ebx, 1
+    mov ecx, buf2
+    mov edx, 32
+    mov eax, 4
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+buf:  .space 32
+buf2: .space 32
+`)
+			sys.CreateFile("a", []byte("alpha\n"))
+			sys.CreateFile("b", []byte("beta\n"))
+		},
+		Spec:   hth.RunSpec{Path: "/usr/bin/diff", Argv: []string{"/usr/bin/diff", "a", "b"}},
+		Expect: Expectation{Clean: true},
+	})
+
+	// bc: echoes the user's expression and prints the result —
+	// stdout only (§8.2.10).
+	register(&Scenario{
+		Name:  "bc",
+		Table: "T7",
+		Row:   "bc",
+		Desc:  "bc adds two numbers from stdin; output echoes user input",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/usr/bin/bc", `
+.text
+_start:
+    mov ebx, 0
+    mov ecx, buf
+    mov edx, 16
+    mov eax, 3          ; read expression
+    int 0x80
+    ; echo it
+    mov edx, eax
+    mov ecx, buf
+    mov ebx, 1
+    mov eax, 4
+    int 0x80
+    ; "compute" and print a result digit
+    movb eax, [buf]
+    movb ebx, [buf+2]
+    add eax, ebx
+    sub eax, '0'
+    movb [res], eax
+    mov ebx, 1
+    mov ecx, res
+    mov edx, 2
+    mov eax, 4
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+buf: .space 16
+res: .byte 0, '\n'
+`)
+		},
+		Spec:   hth.RunSpec{Path: "/usr/bin/bc", Stdin: []byte("2+3\n")},
+		Expect: Expectation{Clean: true},
+	})
+
+	// pico: the user types text and saves it to a user-named file.
+	// The paper's prototype mis-identified both the data and the file
+	// name as BINARY and issued a spurious High warning (§8.2.6); the
+	// guest reproduces the prototype's incomplete tracking by routing
+	// both through an OR with zero bytes that live in the binary.
+	register(&Scenario{
+		Name:  "pico",
+		Table: "T7",
+		Row:   "pico",
+		Desc:  "editor save draws a spurious High (reproducing the prototype's dataflow gap)",
+		Setup: func(sys *hth.System) {
+			sys.MustInstallSource("/usr/bin/pico", `
+.text
+_start:
+    mov ebp, [esp+4]
+    ; read the user's text
+    mov ebx, 0
+    mov ecx, inbuf
+    mov edx, 32
+    mov eax, 3
+    int 0x80
+    mov esi, eax        ; length
+    ; "process" the text through the editor's internal buffer: the
+    ; prototype's dataflow lost the USER_INPUT source here, so the
+    ; result is tagged from the binary. Modeled with or-zero.
+    mov edi, 0
+proc:
+    cmp edi, esi
+    jge procdone
+    mov ecx, inbuf
+    add ecx, edi
+    movb eax, [ecx]
+    or eax, [zeros]     ; picks up the BINARY tag
+    mov ecx, outbuf
+    add ecx, edi
+    movb [ecx], eax
+    inc edi
+    jmp proc
+procdone:
+    ; same for the file name (argv[1])
+    mov esi, [ebp+4]
+    mov edi, 0
+nameproc:
+    mov ecx, esi
+    add ecx, edi
+    movb eax, [ecx]
+    or eax, [zeros]
+    mov ecx, namebuf
+    add ecx, edi
+    movb [ecx], eax
+    test eax, 0xFF
+    jz namedone
+    inc edi
+    jmp nameproc
+namedone:
+    ; save
+    mov ebx, namebuf
+    mov eax, 8          ; creat
+    int 0x80
+    mov ebx, eax
+    mov ecx, outbuf
+    mov edx, 16
+    mov eax, 4          ; write
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+zeros:   .byte 0, 0, 0, 0
+inbuf:   .space 32
+outbuf:  .space 32
+namebuf: .space 32
+`)
+		},
+		Spec: hth.RunSpec{Path: "/usr/bin/pico", Argv: []string{"/usr/bin/pico", "a.txt"}, Stdin: []byte("hello editor")},
+		Expect: Expectation{
+			Warnings: []ExpectWarning{{
+				Severity: secpert.High, Rule: "check_write",
+				Contains: "Found Write call to a.txt",
+			}},
+		},
+	})
+
+	// xeyes: writes X11 protocol data — sourced from the X libraries
+	// and its own binary — to the (hardcoded) display socket. All
+	// warnings are Low (§8.2.11).
+	register(&Scenario{
+		Name:  "xeyes",
+		Table: "T7",
+		Row:   "xeyes",
+		Desc:  "X client: library and binary data to the hardcoded display socket — Low only",
+		Setup: func(sys *hth.System) {
+			sys.Install("libX11.so", mustLib("libX11.so", `
+.image "libX11.so"
+.text
+XOpenDisplay:
+    ret
+.data
+xlc_table: .word 0x11111111, 0x22222222
+`))
+			sys.AddRemote("localhost:6000", func() vosScript { return sinkScript{} })
+			sys.MustInstallSource("/usr/bin/xeyes", `
+.import "libX11.so"
+.text
+_start:
+    ; assemble an X11 request: half from libX11 tables, half from
+    ; the xeyes binary itself
+    mov eax, [xlc_table]
+    mov [req], eax
+    mov eax, [own_data]
+    mov [req+4], eax
+    ; connect to the display
+    mov eax, 102
+    mov ebx, 1
+    mov ecx, scargs
+    int 0x80
+    mov [scargs], eax
+    mov [scargs+4], display
+    mov eax, 102
+    mov ebx, 3
+    mov ecx, scargs
+    int 0x80
+    ; send the request
+    mov [scargs+4], req
+    mov [scargs+8], 8
+    mov eax, 102
+    mov ebx, 9
+    mov ecx, scargs
+    int 0x80
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+.data
+display:  .asciz "localhost:6000"
+own_data: .word 0x33333333
+req:      .space 8
+scargs:   .space 12
+`)
+		},
+		Spec: hth.RunSpec{Path: "/usr/bin/xeyes"},
+		Expect: Expectation{
+			Capped: true, Cap: secpert.Low,
+			Warnings: []ExpectWarning{
+				{Severity: secpert.Low, Contains: "Data Flowing From: libX11.so"},
+				{Severity: secpert.Low, Contains: "Data Flowing From: /usr/bin/xeyes"},
+			},
+		},
+	})
+}

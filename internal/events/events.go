@@ -1,0 +1,105 @@
+// Package events defines the event vocabulary Harrier sends Secpert
+// (paper §6.1.2). There are two event types: resource access (a
+// system call naming a resource — execve, open, creat, clone, and the
+// socket calls) and resource I/O (data moving into or out of the
+// program — read, write, send, recv). Every event carries the
+// execution context the policy needs: virtual time, the frequency of
+// the (application) basic block that triggered it, and its code
+// address.
+package events
+
+import (
+	"fmt"
+
+	"repro/internal/taint"
+)
+
+// Ref identifies a resource together with the provenance of its
+// *name*: the "resource ID data source" of paper §5.1/Table 2.
+// For example, opening "/etc/passwd" with a hardcoded path yields
+// Ref{Name: "/etc/passwd", Type: File, Origin: [BINARY:"/bin/evil"]}.
+type Ref struct {
+	Name   string
+	Type   taint.SourceType
+	Origin []taint.Source
+}
+
+// String renders the reference for diagnostics.
+func (r Ref) String() string {
+	return fmt.Sprintf("%s %q (name from %v)", r.Type, r.Name, r.Origin)
+}
+
+// Access is a resource-access event (paper §6.1.2 type 1): the call
+// number/name, the resource name and type, the resource ID data
+// source, plus time, code frequency and code address.
+type Access struct {
+	Call     string // "SYS_execve", "SYS_open", "SYS_socketcall:connect", ...
+	PID      int
+	Resource Ref
+	Time     uint64
+	Freq     int64  // executions of the triggering application BB
+	Addr     string // hex address of the triggering application BB
+
+	// Process-creation pressure, populated on clone/fork events for
+	// the resource-abuse rules (§4.2): total processes created by the
+	// monitored tree, and how many were created within the recent
+	// rate window.
+	CloneCount int64
+	CloneRate  int64
+
+	// MemBytes is the total heap (brk) growth of the monitored tree,
+	// populated on SYS_brk events for the memory-abuse extension
+	// (paper §10 future work item 4).
+	MemBytes int64
+}
+
+// Dir is the direction of an I/O event.
+type Dir int
+
+// Directions.
+const (
+	Read Dir = iota
+	Write
+)
+
+// String names the direction.
+func (d Dir) String() string {
+	if d == Read {
+		return "read"
+	}
+	return "write"
+}
+
+// IO is a read-from / write-to resource event (paper §6.1.2 type 2):
+// the data's sources, the endpoint resource and its name provenance,
+// and the execution context.
+type IO struct {
+	Call string
+	PID  int
+	Dir  Dir
+
+	// Data is the set of sources the moved bytes carry (the union of
+	// the buffer's byte tags).
+	Data []taint.Source
+
+	// Head is a prefix of the moved bytes (up to 16), used by the
+	// content-analysis extension (paper §10 future work item 5) to
+	// recognize executable payloads being dropped.
+	Head []byte
+
+	// Resource is the endpoint: the target for writes, the source for
+	// reads.
+	Resource Ref
+
+	// Server context: the endpoint is a connection accepted on a
+	// listener this program bound ("it is a server with the address
+	// ...", paper §8.3.6). ServerOrigin is the provenance of the
+	// *listening* address's name.
+	Server       bool
+	ServerAddr   string
+	ServerOrigin []taint.Source
+
+	Time uint64
+	Freq int64
+	Addr string
+}

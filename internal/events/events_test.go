@@ -1,0 +1,30 @@
+package events
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/taint"
+)
+
+func TestRefString(t *testing.T) {
+	r := Ref{
+		Name: "/bin/ls",
+		Type: taint.File,
+		Origin: []taint.Source{
+			{Type: taint.Binary, Name: "/bin/evil"},
+		},
+	}
+	s := r.String()
+	for _, want := range []string{"FILE", `"/bin/ls"`, "BINARY", "/bin/evil"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Ref.String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDirString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("Dir strings wrong")
+	}
+}

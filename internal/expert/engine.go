@@ -1,0 +1,428 @@
+package expert
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Rule is a defrule: patterns and tests on the left-hand side, an
+// action on the right.
+type Rule struct {
+	Name     string
+	Doc      string
+	Salience int
+	Patterns []Pattern
+	// Tests run after all patterns matched, over the bindings
+	// (CLIPS test conditional elements).
+	Tests []func(b *Bindings) bool
+	// Action fires with the matched bindings.
+	Action func(ctx *Context, b *Bindings)
+}
+
+// Context is handed to rule actions: it can assert and retract facts
+// and print to the engine's output.
+type Context struct {
+	E    *Engine
+	Rule *Rule
+	IDs  []int // the matched fact ids, pattern order
+}
+
+// Assert adds a fact from within an action.
+func (c *Context) Assert(template string, slots map[string]Value) (*Fact, error) {
+	return c.E.Assert(template, slots)
+}
+
+// Retract removes a fact from within an action.
+func (c *Context) Retract(id int) { c.E.Retract(id) }
+
+// Printf writes to the engine's output stream.
+func (c *Context) Printf(format string, args ...any) {
+	fmt.Fprintf(c.E.Out, format, args...)
+}
+
+// FireRecord is one entry of the fire trace.
+type FireRecord struct {
+	Seq     int
+	Rule    string
+	FactIDs []int
+}
+
+// String renders the record CLIPS-style: "FIRE 1 check_execve: f-43,f-42,f-5".
+func (fr FireRecord) String() string {
+	refs := make([]string, len(fr.FactIDs))
+	for i, id := range fr.FactIDs {
+		refs[i] = fmt.Sprintf("f-%d", id)
+	}
+	return fmt.Sprintf("FIRE %d %s: %s", fr.Seq, fr.Rule, strings.Join(refs, ","))
+}
+
+type activation struct {
+	rule *Rule
+	ids  []int
+	b    *Bindings
+	seq  int // recency: assertion sequence that created it
+}
+
+func activationKey(rule string, ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprint(id)
+	}
+	return rule + "|" + strings.Join(parts, ",")
+}
+
+// Engine is the inference engine: working memory + rules + agenda.
+type Engine struct {
+	// Out receives rule printout (warnings); defaults to io.Discard.
+	Out io.Writer
+	// Echo, when non-nil, receives a CLIPS-transcript line for every
+	// assertion ("CLIPS> (assert (template ...))"), reproducing the
+	// paper's Appendix A.1 interaction log.
+	Echo io.Writer
+
+	templates map[string]*Template
+	rules     []*Rule
+	facts     map[int]*Fact
+	order     []int // fact ids in assertion order
+	nextFact  int
+	seq       int
+
+	agenda []*activation
+	fired  map[string]bool // refraction memory
+
+	trace   []FireRecord
+	fireSeq int
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{
+		Out:       io.Discard,
+		templates: make(map[string]*Template),
+		facts:     make(map[int]*Fact),
+		fired:     make(map[string]bool),
+	}
+}
+
+// DefTemplate registers a template.
+func (e *Engine) DefTemplate(t *Template) error {
+	if _, dup := e.templates[t.Name]; dup {
+		return fmt.Errorf("expert: duplicate template %q", t.Name)
+	}
+	e.templates[t.Name] = t
+	return nil
+}
+
+// DefRule registers a rule. Existing facts are immediately eligible.
+func (e *Engine) DefRule(r *Rule) error {
+	for _, other := range e.rules {
+		if other.Name == r.Name {
+			return fmt.Errorf("expert: duplicate rule %q", r.Name)
+		}
+	}
+	for _, p := range r.Patterns {
+		if _, ok := e.templates[p.Template]; !ok {
+			return fmt.Errorf("expert: rule %q uses undefined template %q", r.Name, p.Template)
+		}
+	}
+	e.rules = append(e.rules, r)
+	// Activate against current working memory.
+	e.activateRule(r, -1)
+	return nil
+}
+
+// Assert adds a fact, validating slots against the template and
+// applying defaults, then computes new activations.
+func (e *Engine) Assert(template string, slots map[string]Value) (*Fact, error) {
+	t, ok := e.templates[template]
+	if !ok {
+		return nil, fmt.Errorf("expert: assert of undefined template %q", template)
+	}
+	full := make(map[string]Value, len(t.Slots))
+	for name := range slots {
+		if _, ok := t.slot(name); !ok {
+			return nil, fmt.Errorf("expert: template %q has no slot %q", template, name)
+		}
+	}
+	for _, sd := range t.Slots {
+		v, present := slots[sd.Name]
+		if !present {
+			v = sd.Default
+			if v == nil && sd.Multi {
+				v = []Value{}
+			}
+		}
+		v = Norm(v)
+		if sd.Multi {
+			if _, isList := v.([]Value); !isList {
+				return nil, fmt.Errorf("expert: slot %s.%s is a multislot", template, sd.Name)
+			}
+		}
+		full[sd.Name] = v
+	}
+	e.nextFact++
+	f := &Fact{ID: e.nextFact, Template: template, Slots: full}
+	if e.Echo != nil {
+		fmt.Fprintf(e.Echo, "CLIPS> (assert %s)\n", f)
+	}
+	e.facts[f.ID] = f
+	e.order = append(e.order, f.ID)
+	e.seq++
+	for _, r := range e.rules {
+		e.activate(r, f)
+	}
+	return f, nil
+}
+
+// Retract removes a fact and any agenda activations that used it.
+func (e *Engine) Retract(id int) {
+	if _, ok := e.facts[id]; !ok {
+		return
+	}
+	delete(e.facts, id)
+	for i, fid := range e.order {
+		if fid == id {
+			e.order = append(e.order[:i], e.order[i+1:]...)
+			break
+		}
+	}
+	kept := e.agenda[:0]
+	for _, a := range e.agenda {
+		uses := false
+		for _, fid := range a.ids {
+			if fid == id {
+				uses = true
+				break
+			}
+		}
+		if !uses {
+			kept = append(kept, a)
+		}
+	}
+	e.agenda = kept
+	// Retraction may re-enable negative conditional elements;
+	// recompute the rules that use them (refraction and the agenda
+	// dedup keep this idempotent).
+	for _, r := range e.rules {
+		for i := range r.Patterns {
+			if r.Patterns[i].Negated {
+				e.join(r, -1)
+				break
+			}
+		}
+	}
+}
+
+// Fact returns the fact with the given id.
+func (e *Engine) Fact(id int) (*Fact, bool) {
+	f, ok := e.facts[id]
+	return f, ok
+}
+
+// Facts returns all facts in assertion order.
+func (e *Engine) Facts() []*Fact {
+	out := make([]*Fact, 0, len(e.order))
+	for _, id := range e.order {
+		out = append(out, e.facts[id])
+	}
+	return out
+}
+
+// activate finds activations of r that include the new fact.
+func (e *Engine) activate(r *Rule, newFact *Fact) {
+	e.join(r, newFact.ID)
+}
+
+// activateRule finds all activations of a freshly defined rule.
+func (e *Engine) activateRule(r *Rule, _ int) {
+	e.join(r, -1)
+}
+
+// anyMatch reports whether any current fact matches the pattern under
+// the given bindings (used for negative conditional elements; the
+// probe bindings are discarded).
+func (e *Engine) anyMatch(p *Pattern, b *Bindings) bool {
+	for _, fid := range e.order {
+		f := e.facts[fid]
+		if f.Template != p.Template {
+			continue
+		}
+		if p.match(f, b.clone()) {
+			return true
+		}
+	}
+	return false
+}
+
+// join enumerates complete pattern matches. When mustInclude >= 0,
+// only tuples containing that fact id are produced (incremental
+// activation on assert); -1 enumerates everything (new rule, or a
+// recomputation after retract re-enabled negative elements).
+// Negated patterns consume no fact: they hold when nothing matches,
+// and are re-verified at fire time (asserts between activation and
+// firing can defeat them).
+func (e *Engine) join(r *Rule, mustInclude int) {
+	n := len(r.Patterns)
+	if n == 0 {
+		return
+	}
+	var ids []int // ids of positive-pattern facts, in pattern order
+	var rec func(i int, b *Bindings, used bool)
+	rec = func(i int, b *Bindings, used bool) {
+		if i == n {
+			if mustInclude >= 0 && !used {
+				return
+			}
+			key := activationKey(r.Name, ids)
+			if e.fired[key] {
+				return
+			}
+			for _, a := range e.agenda {
+				if activationKey(a.rule.Name, a.ids) == key {
+					return
+				}
+			}
+			fb := b.clone()
+			for _, test := range r.Tests {
+				if !test(fb) {
+					return
+				}
+			}
+			e.agenda = append(e.agenda, &activation{
+				rule: r, ids: append([]int(nil), ids...), b: fb, seq: e.seq,
+			})
+			return
+		}
+		p := &r.Patterns[i]
+		if p.Negated {
+			if e.anyMatch(p, b) {
+				return
+			}
+			rec(i+1, b, used)
+			return
+		}
+		for _, fid := range e.order {
+			f := e.facts[fid]
+			if f.Template != p.Template {
+				continue
+			}
+			dup := false
+			for _, prev := range ids {
+				if prev == fid {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			nb := b.clone()
+			if !p.match(f, nb) {
+				continue
+			}
+			ids = append(ids, fid)
+			rec(i+1, nb, used || fid == mustInclude)
+			ids = ids[:len(ids)-1]
+		}
+	}
+	rec(0, NewBindings(), false)
+}
+
+// Run fires agenda activations until the agenda empties or limit rules
+// have fired (limit <= 0 means no limit). Returns the number fired.
+func (e *Engine) Run(limit int) int {
+	fired := 0
+	for len(e.agenda) > 0 {
+		if limit > 0 && fired >= limit {
+			break
+		}
+		a := e.pop()
+		// The activation may reference retracted facts if the agenda
+		// was manipulated; pop guards, but double-check.
+		stale := false
+		for _, id := range a.ids {
+			if _, ok := e.facts[id]; !ok {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			continue
+		}
+		// Re-verify negative conditional elements: a fact asserted
+		// after this activation was created may defeat them.
+		defeated := false
+		for i := range a.rule.Patterns {
+			p := &a.rule.Patterns[i]
+			if p.Negated && e.anyMatch(p, a.b) {
+				defeated = true
+				break
+			}
+		}
+		if defeated {
+			continue
+		}
+		key := activationKey(a.rule.Name, a.ids)
+		if e.fired[key] {
+			continue
+		}
+		e.fired[key] = true
+		e.fireSeq++
+		rec := FireRecord{Seq: e.fireSeq, Rule: a.rule.Name, FactIDs: a.ids}
+		e.trace = append(e.trace, rec)
+		fmt.Fprintln(e.Out, rec.String())
+		if a.rule.Action != nil {
+			a.rule.Action(&Context{E: e, Rule: a.rule, IDs: a.ids}, a.b)
+		}
+		fired++
+	}
+	return fired
+}
+
+// pop removes the highest-priority activation: salience desc, then
+// recency desc (depth strategy).
+func (e *Engine) pop() *activation {
+	best := 0
+	for i := 1; i < len(e.agenda); i++ {
+		a, b := e.agenda[i], e.agenda[best]
+		if a.rule.Salience > b.rule.Salience ||
+			(a.rule.Salience == b.rule.Salience && a.seq > b.seq) {
+			best = i
+		}
+	}
+	a := e.agenda[best]
+	e.agenda = append(e.agenda[:best], e.agenda[best+1:]...)
+	return a
+}
+
+// AgendaLen reports pending activations.
+func (e *Engine) AgendaLen() int { return len(e.agenda) }
+
+// Trace returns the fire history.
+func (e *Engine) Trace() []FireRecord { return e.trace }
+
+// Reset clears working memory, the agenda, refraction memory and the
+// trace, keeping templates and rules.
+func (e *Engine) Reset() {
+	e.facts = make(map[int]*Fact)
+	e.order = nil
+	e.agenda = nil
+	e.fired = make(map[string]bool)
+	e.trace = nil
+	e.nextFact = 0
+	e.fireSeq = 0
+	e.seq = 0
+}
+
+// DumpFacts renders working memory for diagnostics.
+func (e *Engine) DumpFacts() string {
+	var b strings.Builder
+	ids := append([]int(nil), e.order...)
+	sort.Ints(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, "f-%d %s\n", id, e.facts[id])
+	}
+	return b.String()
+}

@@ -1,0 +1,60 @@
+package expert_test
+
+import (
+	"os"
+
+	"repro/internal/expert"
+)
+
+// Example shows the programmatic API: a template, a rule with a
+// variable binding, a fact, and a run.
+func Example() {
+	eng := expert.NewEngine()
+	eng.Out = os.Stdout
+	eng.DefTemplate(&expert.Template{
+		Name:  "alert",
+		Slots: []expert.SlotDef{{Name: "host"}, {Name: "severity"}},
+	})
+	eng.DefRule(&expert.Rule{
+		Name: "page-oncall",
+		Patterns: []expert.Pattern{
+			expert.P("alert",
+				expert.S("host", expert.Var("h")),
+				expert.S("severity", expert.Lit("critical"))),
+		},
+		Action: func(ctx *expert.Context, b *expert.Bindings) {
+			ctx.Printf("paging for %s\n", b.Str("h"))
+		},
+	})
+	eng.Assert("alert", map[string]expert.Value{"host": "db1", "severity": "critical"})
+	eng.Assert("alert", map[string]expert.Value{"host": "web3", "severity": "info"})
+	eng.Run(0)
+	// Output:
+	// FIRE 1 page-oncall: f-1
+	// paging for db1
+}
+
+// ExampleClips shows the same system expressed in CLIPS text, the
+// syntax of the paper's Appendix A.
+func ExampleClips() {
+	eng := expert.NewEngine()
+	eng.Out = os.Stdout
+	c := expert.NewClips(eng)
+	c.Out = os.Stdout
+	err := c.Eval(`
+(deftemplate alert (slot host) (slot severity))
+(defrule page-oncall
+    (alert (host ?h) (severity critical))
+    =>
+    (printout t "paging for " ?h crlf))
+(assert (alert (host db1) (severity critical)))
+(run)
+`)
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// FIRE 1 page-oncall: f-1
+	// paging for db1
+	// 1 rules fired
+}

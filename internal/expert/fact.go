@@ -1,0 +1,156 @@
+// Package expert implements a CLIPS-style forward-chaining production
+// system: template facts, rules whose left-hand sides pattern-match
+// working memory with variable binding, an agenda ordered by salience
+// and recency, refraction, and a fire trace that lets every conclusion
+// explain itself — the property the paper names as the reason to use
+// an expert system over, e.g., a neural network (§6.2.1: "an expert
+// system has the ability to reason about its decision making").
+//
+// Secpert (internal/secpert) builds the HTH security policy on top of
+// this engine, mirroring the CLIPS implementation of the paper's
+// Appendix A.
+package expert
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is a slot value: string, int64, float64, bool, or []Value
+// (a multifield). Integers must be int64 — helpers normalize.
+type Value = any
+
+// Norm normalizes numeric values to int64/float64 so equality behaves.
+func Norm(v Value) Value {
+	switch x := v.(type) {
+	case int:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case uint32:
+		return int64(x)
+	case uint64:
+		return int64(x)
+	case float32:
+		return float64(x)
+	case []string:
+		out := make([]Value, len(x))
+		for i, s := range x {
+			out[i] = s
+		}
+		return out
+	}
+	return v
+}
+
+// Eq compares two values, deeply for multifields.
+func Eq(a, b Value) bool {
+	a, b = Norm(a), Norm(b)
+	la, aok := a.([]Value)
+	lb, bok := b.([]Value)
+	if aok != bok {
+		return false
+	}
+	if aok {
+		if len(la) != len(lb) {
+			return false
+		}
+		for i := range la {
+			if !Eq(la[i], lb[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return a == b
+}
+
+// FormatValue renders a value CLIPS-style: strings quoted, symbols
+// (identifier-looking strings) bare, multifields parenthesized.
+func FormatValue(v Value) string {
+	switch x := Norm(v).(type) {
+	case nil:
+		return "nil"
+	case string:
+		if isSymbol(x) {
+			return x
+		}
+		return fmt.Sprintf("%q", x)
+	case []Value:
+		parts := make([]string, len(x))
+		for i, e := range x {
+			parts[i] = FormatValue(e)
+		}
+		return "(" + strings.Join(parts, " ") + ")"
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+func isSymbol(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == '-' || r == '?' || r == '*' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && (r >= '0' && r <= '9'))
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SlotDef declares one slot of a template.
+type SlotDef struct {
+	Name    string
+	Multi   bool  // multislot: holds a []Value
+	Default Value // used when Assert omits the slot
+}
+
+// Template is a deftemplate: a named fact shape.
+type Template struct {
+	Name  string
+	Slots []SlotDef
+}
+
+func (t *Template) slot(name string) (*SlotDef, bool) {
+	for i := range t.Slots {
+		if t.Slots[i].Name == name {
+			return &t.Slots[i], true
+		}
+	}
+	return nil, false
+}
+
+// Fact is one working-memory element.
+type Fact struct {
+	ID       int
+	Template string
+	Slots    map[string]Value
+}
+
+// Get returns a slot value.
+func (f *Fact) Get(slot string) Value { return f.Slots[slot] }
+
+// Ref renders the fact's identifier CLIPS-style: f-7.
+func (f *Fact) Ref() string { return fmt.Sprintf("f-%d", f.ID) }
+
+// String renders the fact CLIPS-style:
+// (template (slot value) (slot value)).
+func (f *Fact) String() string {
+	names := make([]string, 0, len(f.Slots))
+	for n := range f.Slots {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("(" + f.Template)
+	for _, n := range names {
+		b.WriteString(fmt.Sprintf(" (%s %s)", n, FormatValue(f.Slots[n])))
+	}
+	b.WriteString(")")
+	return b.String()
+}

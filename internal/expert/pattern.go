@@ -1,0 +1,161 @@
+package expert
+
+// Bindings carries variable bindings accumulated while matching a
+// rule's patterns.
+type Bindings struct {
+	vars map[string]Value
+}
+
+// NewBindings returns an empty binding set.
+func NewBindings() *Bindings { return &Bindings{vars: map[string]Value{}} }
+
+// Get returns the value bound to name, if any.
+func (b *Bindings) Get(name string) (Value, bool) {
+	v, ok := b.vars[name]
+	return v, ok
+}
+
+// MustGet returns the bound value or nil.
+func (b *Bindings) MustGet(name string) Value { return b.vars[name] }
+
+// Str returns a bound string value (empty if unbound or non-string).
+func (b *Bindings) Str(name string) string {
+	s, _ := b.vars[name].(string)
+	return s
+}
+
+// Int returns a bound int64 value (0 if unbound or non-integer).
+func (b *Bindings) Int(name string) int64 {
+	v, _ := Norm(b.vars[name]).(int64)
+	return v
+}
+
+// List returns a bound multifield value.
+func (b *Bindings) List(name string) []Value {
+	l, _ := Norm(b.vars[name]).([]Value)
+	return l
+}
+
+// Fact returns the fact bound by a pattern binder (?f <- pattern).
+func (b *Bindings) Fact(name string) *Fact {
+	f, _ := b.vars[name].(*Fact)
+	return f
+}
+
+func (b *Bindings) set(name string, v Value) { b.vars[name] = v }
+
+func (b *Bindings) clone() *Bindings {
+	out := NewBindings()
+	for k, v := range b.vars {
+		out.vars[k] = v
+	}
+	return out
+}
+
+// Matcher decides whether a slot value is acceptable, possibly
+// extending the bindings.
+type Matcher func(v Value, b *Bindings) bool
+
+// Lit matches a literal value.
+func Lit(want Value) Matcher {
+	return func(v Value, _ *Bindings) bool { return Eq(v, want) }
+}
+
+// Var binds the slot value to a variable on first use and requires
+// equality on subsequent uses (CLIPS ?x semantics).
+func Var(name string) Matcher {
+	return func(v Value, b *Bindings) bool {
+		if prev, ok := b.Get(name); ok {
+			return Eq(prev, v)
+		}
+		b.set(name, Norm(v))
+		return true
+	}
+}
+
+// Any matches anything without binding.
+func Any() Matcher {
+	return func(Value, *Bindings) bool { return true }
+}
+
+// Pred matches when fn accepts the value.
+func Pred(fn func(v Value) bool) Matcher {
+	return func(v Value, _ *Bindings) bool { return fn(Norm(v)) }
+}
+
+// BindPred binds the value to name when fn accepts it.
+func BindPred(name string, fn func(v Value) bool) Matcher {
+	return func(v Value, b *Bindings) bool {
+		v = Norm(v)
+		if !fn(v) {
+			return false
+		}
+		if prev, ok := b.Get(name); ok {
+			return Eq(prev, v)
+		}
+		b.set(name, v)
+		return true
+	}
+}
+
+// Not inverts a matcher (the inner matcher must not bind).
+func Not(m Matcher) Matcher {
+	return func(v Value, b *Bindings) bool { return !m(v, b) }
+}
+
+// SlotMatch pairs a slot name with its matcher.
+type SlotMatch struct {
+	Slot string
+	M    Matcher
+}
+
+// S builds a SlotMatch.
+func S(slot string, m Matcher) SlotMatch { return SlotMatch{Slot: slot, M: m} }
+
+// Pattern matches one fact of a template. A Negated pattern is a
+// CLIPS negative conditional element: it is satisfied when *no* fact
+// matches; it binds nothing and contributes no fact to the
+// activation.
+type Pattern struct {
+	Template string
+	Binder   string // when set, the matched *Fact binds to this name
+	Matches  []SlotMatch
+	Negated  bool
+}
+
+// P builds a pattern.
+func P(template string, matches ...SlotMatch) Pattern {
+	return Pattern{Template: template, Matches: matches}
+}
+
+// PBind builds a pattern that binds the matched fact (?f <- pattern).
+func PBind(binder, template string, matches ...SlotMatch) Pattern {
+	return Pattern{Template: template, Binder: binder, Matches: matches}
+}
+
+// PNot builds a negative conditional element: (not (template ...)).
+// Variables used inside must already be bound by earlier patterns.
+func PNot(template string, matches ...SlotMatch) Pattern {
+	return Pattern{Template: template, Matches: matches, Negated: true}
+}
+
+// match attempts the pattern against a fact, extending b on success.
+// b is mutated; the caller clones before trying alternatives.
+func (p *Pattern) match(f *Fact, b *Bindings) bool {
+	if f.Template != p.Template {
+		return false
+	}
+	for _, sm := range p.Matches {
+		v, ok := f.Slots[sm.Slot]
+		if !ok {
+			return false
+		}
+		if !sm.M(v, b) {
+			return false
+		}
+	}
+	if p.Binder != "" {
+		b.set(p.Binder, f)
+	}
+	return true
+}

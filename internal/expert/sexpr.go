@@ -1,0 +1,200 @@
+package expert
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// sexpr is a parsed CLIPS s-expression node: either an atom (symbol,
+// string, or number) or a list.
+type sexpr struct {
+	atom  bool
+	sym   string // symbol text (atoms that are not strings/numbers)
+	str   string // string literal
+	isStr bool
+	num   int64
+	isNum bool
+	kids  []*sexpr
+}
+
+func (s *sexpr) isList() bool { return !s.atom }
+
+// head returns the leading symbol of a list, or "".
+func (s *sexpr) head() string {
+	if s.isList() && len(s.kids) > 0 && s.kids[0].atom && !s.kids[0].isStr {
+		return s.kids[0].sym
+	}
+	return ""
+}
+
+// value converts an atom to an engine Value.
+func (s *sexpr) value() Value {
+	switch {
+	case s.isStr:
+		return s.str
+	case s.isNum:
+		return s.num
+	default:
+		return s.sym
+	}
+}
+
+// String renders the node back as CLIPS text.
+func (s *sexpr) String() string {
+	if s.atom {
+		switch {
+		case s.isStr:
+			return fmt.Sprintf("%q", s.str)
+		case s.isNum:
+			return fmt.Sprint(s.num)
+		default:
+			return s.sym
+		}
+	}
+	parts := make([]string, len(s.kids))
+	for i, k := range s.kids {
+		parts[i] = k.String()
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}
+
+// parseSexprs parses zero or more top-level forms.
+func parseSexprs(src string) ([]*sexpr, error) {
+	p := &sparser{src: src}
+	var out []*sexpr
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return out, nil
+		}
+		node, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, node)
+	}
+}
+
+type sparser struct {
+	src string
+	pos int
+	ln  int
+}
+
+func (p *sparser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *sparser) peek() byte { return p.src[p.pos] }
+
+func (p *sparser) skipSpace() {
+	for !p.eof() {
+		c := p.peek()
+		switch {
+		case c == ';':
+			// Comment to end of line.
+			for !p.eof() && p.peek() != '\n' {
+				p.pos++
+			}
+		case c == '\n':
+			p.ln++
+			p.pos++
+		case unicode.IsSpace(rune(c)):
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *sparser) errf(format string, args ...any) error {
+	return fmt.Errorf("clips: line %d: %s", p.ln+1, fmt.Sprintf(format, args...))
+}
+
+func (p *sparser) parse() (*sexpr, error) {
+	p.skipSpace()
+	if p.eof() {
+		return nil, p.errf("unexpected end of input")
+	}
+	switch c := p.peek(); {
+	case c == '(':
+		p.pos++
+		node := &sexpr{}
+		for {
+			p.skipSpace()
+			if p.eof() {
+				return nil, p.errf("unterminated list")
+			}
+			if p.peek() == ')' {
+				p.pos++
+				return node, nil
+			}
+			kid, err := p.parse()
+			if err != nil {
+				return nil, err
+			}
+			node.kids = append(node.kids, kid)
+		}
+	case c == ')':
+		return nil, p.errf("unexpected ')'")
+	case c == '"':
+		return p.parseString()
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *sparser) parseString() (*sexpr, error) {
+	p.pos++ // opening quote
+	var b strings.Builder
+	for {
+		if p.eof() {
+			return nil, p.errf("unterminated string")
+		}
+		c := p.peek()
+		p.pos++
+		switch c {
+		case '"':
+			return &sexpr{atom: true, isStr: true, str: b.String()}, nil
+		case '\\':
+			if p.eof() {
+				return nil, p.errf("dangling escape")
+			}
+			e := p.peek()
+			p.pos++
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return nil, p.errf("unknown escape \\%c", e)
+			}
+		case '\n':
+			p.ln++
+			b.WriteByte(c)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func isAtomEnd(c byte) bool {
+	return c == '(' || c == ')' || c == '"' || c == ';' || unicode.IsSpace(rune(c))
+}
+
+func (p *sparser) parseAtom() (*sexpr, error) {
+	start := p.pos
+	for !p.eof() && !isAtomEnd(p.peek()) {
+		p.pos++
+	}
+	text := p.src[start:p.pos]
+	if n, err := strconv.ParseInt(text, 10, 64); err == nil {
+		return &sexpr{atom: true, isNum: true, num: n}, nil
+	}
+	return &sexpr{atom: true, sym: text}, nil
+}

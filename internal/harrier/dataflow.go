@@ -1,0 +1,179 @@
+package harrier
+
+import (
+	"repro/internal/isa"
+	"repro/internal/taint"
+)
+
+// trackDataFlow is the Track_DataFlow analysis inserted before every
+// data-moving instruction (paper Figure 5). It implements §7.3.1:
+// destination tags become the union of the source-operand tags,
+// immediates carry BINARY:<image of the instruction>, and CPUID/RDTSC
+// outputs carry HARDWARE. Control-transfer instructions and flags are
+// not tracked — implicit flows are out of scope, as in the prototype
+// (§7.3 footnote 7).
+func (h *Harrier) trackDataFlow(c *isa.CPU, s *isa.Span, idx int) {
+	h.stats.Instructions++
+	in := &s.Instrs[idx]
+	sh := c.Shadow
+	if sh == nil {
+		return
+	}
+	bin := h.binTag(s.Image)
+
+	switch in.Op {
+	case isa.MOV:
+		h.writeTag(c, in.A, h.readTag(c, in.B, bin))
+
+	case isa.MOVB:
+		h.writeTag8(c, in.A, h.readTag8(c, in.B, bin))
+
+	case isa.LEA:
+		// The loaded value is an address computed from the base
+		// register and a displacement encoded in the binary.
+		t := bin
+		if in.B.Kind == isa.MemOperand && in.B.HasBase {
+			t = h.Store.Union(t, c.RegTags[in.B.Reg])
+		}
+		if in.A.Kind == isa.RegOperand {
+			c.RegTags[in.A.Reg] = t
+		}
+
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.MUL, isa.DIVOP, isa.MODOP, isa.SHL, isa.SHR:
+		// xor r,r and sub r,r produce a constant regardless of the
+		// operand value: the canonical zeroing idioms drop taint.
+		if (in.Op == isa.XOR || in.Op == isa.SUB) &&
+			in.A.Kind == isa.RegOperand && in.B.Kind == isa.RegOperand &&
+			in.A.Reg == in.B.Reg {
+			c.RegTags[in.A.Reg] = taint.Empty
+			return
+		}
+		t := h.Store.Union(h.readTag(c, in.A, bin), h.readTag(c, in.B, bin))
+		h.writeTag(c, in.A, t)
+
+	case isa.NOT, isa.NEG:
+		h.writeTag(c, in.A, h.readTag(c, in.A, bin))
+
+	case isa.INC, isa.DEC:
+		// The implied constant 1 is encoded in the binary (paper's
+		// rule for immediates), so the result unions in BINARY.
+		h.writeTag(c, in.A, h.Store.Union(h.readTag(c, in.A, bin), bin))
+
+	case isa.PUSH:
+		sh.SetWord(c.Regs[isa.ESP]-4, h.readTag(c, in.A, bin))
+
+	case isa.POP:
+		t := sh.GetWord(c.Regs[isa.ESP])
+		if in.A.Kind == isa.RegOperand {
+			c.RegTags[in.A.Reg] = t
+		} else if in.A.Kind == isa.MemOperand {
+			sh.SetWord(c.EffectiveAddr(in.A), t)
+		}
+
+	case isa.CALL:
+		// The pushed return address is machine bookkeeping.
+		sh.SetWord(c.Regs[isa.ESP]-4, taint.Empty)
+
+	case isa.CPUID:
+		c.RegTags[isa.EAX] = h.hwTag
+		c.RegTags[isa.EBX] = h.hwTag
+		c.RegTags[isa.ECX] = h.hwTag
+		c.RegTags[isa.EDX] = h.hwTag
+
+	case isa.RDTSC:
+		c.RegTags[isa.EAX] = h.hwTag
+		c.RegTags[isa.EDX] = h.hwTag
+
+	case isa.CMP, isa.TEST, isa.JMP, isa.JZ, isa.JNZ, isa.JL, isa.JLE,
+		isa.JG, isa.JGE, isa.RET, isa.INT, isa.HLT, isa.NOP, isa.NATIVE:
+		// No tracked data flow: flags and control are implicit flows.
+	}
+}
+
+// readTag returns the taint of a 32-bit operand read.
+func (h *Harrier) readTag(c *isa.CPU, op isa.Operand, bin taint.Tag) taint.Tag {
+	switch op.Kind {
+	case isa.RegOperand:
+		return c.RegTags[op.Reg]
+	case isa.ImmOperand:
+		return bin
+	case isa.MemOperand:
+		return c.Shadow.GetWord(c.EffectiveAddr(op))
+	}
+	return taint.Empty
+}
+
+// readTag8 returns the taint of a byte operand read.
+func (h *Harrier) readTag8(c *isa.CPU, op isa.Operand, bin taint.Tag) taint.Tag {
+	switch op.Kind {
+	case isa.RegOperand:
+		return c.RegTags[op.Reg]
+	case isa.ImmOperand:
+		return bin
+	case isa.MemOperand:
+		return c.Shadow.Get(c.EffectiveAddr(op))
+	}
+	return taint.Empty
+}
+
+// writeTag assigns the taint of a 32-bit operand write.
+func (h *Harrier) writeTag(c *isa.CPU, op isa.Operand, t taint.Tag) {
+	switch op.Kind {
+	case isa.RegOperand:
+		c.RegTags[op.Reg] = t
+	case isa.MemOperand:
+		c.Shadow.SetWord(c.EffectiveAddr(op), t)
+	}
+}
+
+// writeTag8 assigns the taint of a byte write. Register byte writes
+// replace the whole register's tag — a documented precision trade-off
+// (registers carry one tag, not four).
+func (h *Harrier) writeTag8(c *isa.CPU, op isa.Operand, t taint.Tag) {
+	switch op.Kind {
+	case isa.RegOperand:
+		c.RegTags[op.Reg] = t
+	case isa.MemOperand:
+		c.Shadow.Set(c.EffectiveAddr(op), t)
+	}
+}
+
+// nativePre captures the input-name tag of translation routines so
+// nativePost can short-circuit the flow (paper §7.2: gethostbyname
+// resolves outside the program; Harrier copies the resource ID tag
+// directly to the resulting network address).
+func (h *Harrier) nativePre(c *isa.CPU, name string) {
+	switch name {
+	case "gethostbyname", "gethostbyaddr":
+		p := procOf(c)
+		if p == nil || c.Shadow == nil {
+			return
+		}
+		ptr := c.Regs[isa.EBX]
+		n := c.Mem.CStringLen(ptr)
+		h.natSave[p.PID] = c.Shadow.GetRange(ptr, n)
+	}
+}
+
+// nativePost applies the saved tag to the routine's result.
+func (h *Harrier) nativePost(c *isa.CPU, name string) {
+	switch name {
+	case "gethostbyname", "gethostbyaddr":
+		p := procOf(c)
+		if p == nil || c.Shadow == nil {
+			return
+		}
+		t, ok := h.natSave[p.PID]
+		if !ok {
+			return
+		}
+		delete(h.natSave, p.PID)
+		out := c.Regs[isa.EAX]
+		if out == 0 {
+			return
+		}
+		n := c.Mem.CStringLen(out)
+		c.Shadow.SetRange(out, n+1, t)
+	}
+}

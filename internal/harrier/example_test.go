@@ -1,0 +1,24 @@
+package harrier_test
+
+import (
+	"fmt"
+
+	"repro/internal/harrier"
+	"repro/internal/isa"
+)
+
+// ExampleInstrumentationPlan reproduces the shape of paper Figure 5:
+// the analysis calls Harrier inserts around a code fragment.
+func ExampleInstrumentationPlan() {
+	span := isa.NewSpan(0x1000, "a.out", []isa.Instr{
+		{Op: isa.MOV, A: isa.R(isa.EAX), B: isa.Imm(5)},
+		{Op: isa.INT, A: isa.Imm(0x80)},
+	}, nil)
+	fmt.Print(harrier.InstrumentationPlan(span))
+	// Output:
+	// Call Collect_BB_Frequency
+	// Call Track_DataFlow
+	// mov eax, 0x5
+	// Call Monitor_SystemCalls
+	// int 0x80
+}

@@ -1,0 +1,223 @@
+// Package harrier implements Harrier, the HTH run-time monitor (paper
+// §7). Harrier attaches to a process tree on the virtual OS and
+// instruments it at every granularity of paper Table 3:
+//
+//   - instruction: Track_DataFlow — taint propagation through every
+//     data-moving instruction, with immediates tagged BINARY:<image>
+//     and CPUID/RDTSC outputs tagged HARDWARE;
+//   - basic block: Collect_BB_Frequency — per-block execution counts
+//     with last-application-BB attribution across shared objects
+//     (paper Figure 3);
+//   - routine: the gethostbyname/gethostbyaddr short-circuit (§7.2);
+//   - OS: Monitor_SystemCalls — synchronous pre-execution events sent
+//     to Secpert, whose verdict can kill the process;
+//   - image: loader events tag mapped binaries (done by the loader
+//     when a shadow is attached).
+package harrier
+
+import (
+	"fmt"
+
+	"repro/internal/events"
+	"repro/internal/isa"
+	"repro/internal/secpert"
+	"repro/internal/taint"
+	"repro/internal/vos"
+)
+
+// Config selects which Harrier modules run; the defaults enable
+// everything, matching the paper's prototype. The ablation benches
+// toggle these.
+type Config struct {
+	// Dataflow enables instruction-level taint tracking. Without it
+	// information-flow analysis degrades to nothing (the mw macro
+	// benchmark runs this way, §8.4.2).
+	Dataflow bool
+	// BBFrequency enables basic-block counting and last-app-BB
+	// attribution.
+	BBFrequency bool
+	// CloneRateWindow is the width (virtual ticks) of the sliding
+	// window used for the clone-rate measurement (§4.2).
+	CloneRateWindow uint64
+	// KeepEventLog records every event sent to Secpert with its
+	// verdict (the EventAnalyzer transcript, paper Figure 6).
+	KeepEventLog bool
+}
+
+// DefaultConfig enables all modules.
+func DefaultConfig() Config {
+	return Config{
+		Dataflow:        true,
+		BBFrequency:     true,
+		CloneRateWindow: 20_000,
+		KeepEventLog:    true,
+	}
+}
+
+// bbKey identifies a basic block: owning image and leader address.
+type bbKey struct {
+	image string
+	addr  uint32
+}
+
+// Stats counts Harrier's instrumentation work, for the §9 performance
+// evaluation.
+type Stats struct {
+	Instructions uint64 // instructions instrumented for data flow
+	Blocks       uint64 // basic-block entries counted
+	AccessEvents uint64 // resource-access events sent to Secpert
+	IOEvents     uint64 // I/O events sent to Secpert
+}
+
+// Harrier is one monitor instance, observing one process tree and
+// feeding one Secpert.
+type Harrier struct {
+	Store *taint.Store
+	cfg   Config
+	sec   *secpert.Secpert
+
+	binTags map[string]taint.Tag
+	hwTag   taint.Tag
+
+	bbFreq  map[bbKey]int64
+	lastApp map[int]bbKey // pid -> last application BB
+
+	cloneCount int64
+	cloneTimes []uint64
+	memBytes   int64 // total heap growth across the tree (SYS_brk)
+	log        []LogEntry
+
+	// natSave holds the input-name tag captured at native-routine
+	// entry for the short-circuit (§7.2).
+	natSave map[int]taint.Tag
+
+	stats Stats
+}
+
+var _ vos.Monitor = (*Harrier)(nil)
+
+// New builds a Harrier feeding sec. The returned monitor carries its
+// own taint store; pass it as both Monitor and Store in vos.ProcSpec.
+func New(cfg Config, sec *secpert.Secpert) *Harrier {
+	st := taint.NewStore()
+	return &Harrier{
+		Store:   st,
+		cfg:     cfg,
+		sec:     sec,
+		binTags: make(map[string]taint.Tag),
+		hwTag:   st.Of(taint.Source{Type: taint.Hardware, Name: "cpuid"}),
+		bbFreq:  make(map[bbKey]int64),
+		lastApp: make(map[int]bbKey),
+		natSave: make(map[int]taint.Tag),
+	}
+}
+
+// Secpert returns the attached expert system.
+func (h *Harrier) Secpert() *secpert.Secpert { return h.sec }
+
+// Stats returns instrumentation counters.
+func (h *Harrier) Stats() Stats { return h.stats }
+
+// BBFrequency returns the execution count of the block at addr in the
+// named image.
+func (h *Harrier) BBFrequency(image string, addr uint32) int64 {
+	return h.bbFreq[bbKey{image, addr}]
+}
+
+func (h *Harrier) binTag(image string) taint.Tag {
+	t, ok := h.binTags[image]
+	if !ok {
+		t = h.Store.Of(taint.Source{Type: taint.Binary, Name: image})
+		h.binTags[image] = t
+	}
+	return t
+}
+
+// Started installs the CPU hooks on a monitored root process.
+func (h *Harrier) Started(p *vos.Process) {
+	hooks := isa.Hooks{}
+	if h.cfg.Dataflow {
+		hooks.OnInstr = h.trackDataFlow
+		hooks.OnNativePre = h.nativePre
+		hooks.OnNativePost = h.nativePost
+	}
+	if h.cfg.BBFrequency {
+		hooks.OnBB = h.collectBBFrequency
+	}
+	p.CPU.Hooks = hooks
+}
+
+// Forked: the child inherits the parent's hooks via CPU.Clone; only
+// bookkeeping is needed.
+func (h *Harrier) Forked(parent, child *vos.Process) {
+	if bb, ok := h.lastApp[parent.PID]; ok {
+		h.lastApp[child.PID] = bb
+	}
+}
+
+// Execed resets per-program attribution state: the process is now a
+// different program.
+func (h *Harrier) Execed(p *vos.Process) {
+	delete(h.lastApp, p.PID)
+}
+
+// Exited drops per-process state.
+func (h *Harrier) Exited(p *vos.Process) {
+	delete(h.lastApp, p.PID)
+	delete(h.natSave, p.PID)
+}
+
+// collectBBFrequency is the Collect_BB_Frequency analysis of paper
+// Figure 5: count the block and remember the last *application* block
+// so that events raised inside shared objects are attributed to the
+// application code that initiated the call path (Figure 3).
+func (h *Harrier) collectBBFrequency(c *isa.CPU, s *isa.Span, leader int) {
+	h.stats.Blocks++
+	p := c.Ctx.(*vos.Process)
+	key := bbKey{s.Image, s.Addr(leader)}
+	h.bbFreq[key]++
+	if s.Image == p.Path {
+		h.lastApp[p.PID] = key
+	}
+}
+
+// context returns the (frequency, address) attribution for an event
+// raised by process p: the last application basic block.
+func (h *Harrier) context(p *vos.Process) (int64, string) {
+	bb, ok := h.lastApp[p.PID]
+	if !ok {
+		return 0, ""
+	}
+	return h.bbFreq[bb], fmt.Sprintf("%x", bb.addr)
+}
+
+// sourcesAt reads the source set of a guest memory range.
+func (h *Harrier) sourcesAt(p *vos.Process, addr, n uint32) []taint.Source {
+	if p.CPU.Shadow == nil || n == 0 {
+		return nil
+	}
+	return h.Store.Sources(p.CPU.Shadow.GetRange(addr, n))
+}
+
+func (h *Harrier) decision(d secpert.Decision) vos.Verdict {
+	if d == secpert.Terminate {
+		return vos.Kill
+	}
+	return vos.Continue
+}
+
+// sendAccess forwards an access event to Secpert, logging it with the
+// verdict.
+func (h *Harrier) sendAccess(ev *events.Access) vos.Verdict {
+	d := h.sec.HandleAccess(ev)
+	h.logAccess(ev, d)
+	return h.decision(d)
+}
+
+// sendIO forwards an I/O event to Secpert, logging it with the
+// verdict.
+func (h *Harrier) sendIO(ev *events.IO) vos.Verdict {
+	d := h.sec.HandleIO(ev)
+	h.logIO(ev, d)
+	return h.decision(d)
+}

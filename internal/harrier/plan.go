@@ -1,0 +1,44 @@
+package harrier
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// InstrumentationPlan renders how Harrier instruments a code span,
+// reproducing paper Figure 5: before each data-moving instruction a
+// Track_DataFlow call is inserted, before each basic-block leader a
+// Collect_BB_Frequency call, and before each int 0x80 a
+// Monitor_SystemCalls call.
+func InstrumentationPlan(s *isa.Span) string {
+	var b strings.Builder
+	for i, in := range s.Instrs {
+		if s.BBLeader[i] == i {
+			fmt.Fprintf(&b, "Call Collect_BB_Frequency\n")
+		}
+		if movesData(in.Op) {
+			fmt.Fprintf(&b, "Call Track_DataFlow\n")
+		}
+		if in.Op == isa.INT {
+			fmt.Fprintf(&b, "Call Monitor_SystemCalls\n")
+		}
+		fmt.Fprintf(&b, "%s\n", in)
+	}
+	return b.String()
+}
+
+// movesData reports whether the instruction moves or computes data
+// and therefore receives a Track_DataFlow analysis call.
+func movesData(op isa.Op) bool {
+	switch op {
+	case isa.MOV, isa.MOVB, isa.LEA,
+		isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.MUL, isa.DIVOP, isa.MODOP, isa.SHL, isa.SHR,
+		isa.NOT, isa.NEG, isa.INC, isa.DEC,
+		isa.PUSH, isa.POP, isa.CPUID, isa.RDTSC:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,94 @@
+package harrier
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestFigure5InstrumentationPlan reproduces the instrumentation
+// example of paper Figure 5: given the figure's code shape, the plan
+// inserts Track_DataFlow before data-moving instructions,
+// Collect_BB_Frequency at block entries, and Monitor_SystemCalls
+// before the int 0x80.
+func TestFigure5InstrumentationPlan(t *testing.T) {
+	// The figure's snippet (adapted to this ISA):
+	//   mov eax, edi / jne 58 / mov ebx, 0 / xor edx, edx /
+	//   mov ecx, esi / mov eax, 5 / int 0x80
+	instrs := []isa.Instr{
+		{Op: isa.MOV, A: isa.R(isa.EAX), B: isa.R(isa.EDI)},
+		{Op: isa.JNZ, A: isa.Imm(0x1000)},
+		{Op: isa.MOV, A: isa.R(isa.EBX), B: isa.Imm(0)},
+		{Op: isa.XOR, A: isa.R(isa.EDX), B: isa.R(isa.EDX)},
+		{Op: isa.MOV, A: isa.R(isa.ECX), B: isa.R(isa.ESI)},
+		{Op: isa.MOV, A: isa.R(isa.EAX), B: isa.Imm(5)},
+		{Op: isa.INT, A: isa.Imm(0x80)},
+	}
+	span := isa.NewSpan(0x1000, "a.out", instrs, nil)
+	plan := InstrumentationPlan(span)
+
+	lines := strings.Split(strings.TrimSpace(plan), "\n")
+	want := []string{
+		"Call Collect_BB_Frequency", // block 1 entry
+		"Call Track_DataFlow",
+		"mov eax, edi",
+		"jne/jnz",
+		"Call Collect_BB_Frequency", // block 2 entry (after the jump)
+		"Call Track_DataFlow",
+		"mov ebx, 0x0",
+		"Call Track_DataFlow",
+		"xor edx, edx",
+		"Call Track_DataFlow",
+		"mov ecx, esi",
+		"Call Track_DataFlow",
+		"mov eax, 0x5",
+		"Call Monitor_SystemCalls",
+		"int 0x80",
+	}
+	if len(lines) != len(want) {
+		t.Fatalf("plan has %d lines, want %d:\n%s", len(lines), len(want), plan)
+	}
+	for i, w := range want {
+		if w == "jne/jnz" {
+			if !strings.HasPrefix(lines[i], "jnz") {
+				t.Errorf("line %d = %q, want the conditional jump", i, lines[i])
+			}
+			continue
+		}
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestPlanControlInstructionsNotDataflow(t *testing.T) {
+	span := isa.NewSpan(0x1000, "x", []isa.Instr{
+		{Op: isa.CMP, A: isa.R(isa.EAX), B: isa.Imm(0)},
+		{Op: isa.RET},
+	}, nil)
+	plan := InstrumentationPlan(span)
+	if strings.Count(plan, "Track_DataFlow") != 0 {
+		t.Errorf("cmp/ret received dataflow calls:\n%s", plan)
+	}
+}
+
+func TestPlanCountsMatchHooks(t *testing.T) {
+	// The static plan's Track_DataFlow count must equal the dynamic
+	// instruction-hook invocations for straight-line code.
+	instrs := []isa.Instr{
+		{Op: isa.MOV, A: isa.R(isa.EAX), B: isa.Imm(1)},
+		{Op: isa.ADD, A: isa.R(isa.EAX), B: isa.Imm(2)},
+		{Op: isa.PUSH, A: isa.R(isa.EAX)},
+		{Op: isa.POP, A: isa.R(isa.EBX)},
+		{Op: isa.HLT},
+	}
+	span := isa.NewSpan(0x1000, "x", instrs, nil)
+	plan := InstrumentationPlan(span)
+	if got := strings.Count(plan, "Track_DataFlow"); got != 4 {
+		t.Errorf("plan dataflow calls = %d, want 4", got)
+	}
+	if got := strings.Count(plan, "Collect_BB_Frequency"); got != 1 {
+		t.Errorf("plan BB calls = %d, want 1", got)
+	}
+}

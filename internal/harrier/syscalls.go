@@ -1,0 +1,226 @@
+package harrier
+
+import (
+	"repro/internal/events"
+	"repro/internal/isa"
+	"repro/internal/taint"
+	"repro/internal/vos"
+)
+
+func procOf(c *isa.CPU) *vos.Process {
+	p, _ := c.Ctx.(*vos.Process)
+	return p
+}
+
+// SyscallEnter is Monitor_SystemCalls (paper Figure 5): it converts
+// the decoded call into a Secpert event, sends it while the guest is
+// paused, and maps the expert system's decision onto the OS verdict.
+func (h *Harrier) SyscallEnter(p *vos.Process, sc *vos.SyscallCtx) vos.Verdict {
+	freq, addr := h.context(p)
+	age := p.Age()
+
+	access := func(call string, ref events.Ref) vos.Verdict {
+		h.stats.AccessEvents++
+		ev := &events.Access{
+			Call: call, PID: p.PID, Resource: ref,
+			Time: age, Freq: freq, Addr: addr,
+		}
+		if call == "SYS_clone" || call == "SYS_fork" {
+			ev.CloneCount, ev.CloneRate = h.recordClone(p)
+		}
+		return h.sendAccess(ev)
+	}
+
+	switch sc.Num {
+	case vos.SysExecve:
+		return access("SYS_execve", events.Ref{
+			Name:   sc.Path,
+			Type:   taint.File,
+			Origin: h.sourcesAt(p, sc.PathPtr, sc.PathLen),
+		})
+
+	case vos.SysFork, vos.SysClone:
+		return access(vos.SyscallName(sc.Num), events.Ref{})
+
+	case vos.SysOpen, vos.SysCreat, vos.SysUnlink:
+		return access(sc.Name, events.Ref{
+			Name:   sc.Path,
+			Type:   taint.File,
+			Origin: h.sourcesAt(p, sc.PathPtr, sc.PathLen),
+		})
+
+	case vos.SysClose, vos.SysDup:
+		if sc.Des == nil {
+			return vos.Continue
+		}
+		return access(sc.Name, h.refOf(sc.Des))
+
+	case vos.SysRead:
+		return h.ioEvent(p, sc, events.Read, freq, addr, age)
+
+	case vos.SysWrite:
+		return h.ioEvent(p, sc, events.Write, freq, addr, age)
+
+	case vos.SysSocketcall:
+		return h.socketcallEnter(p, sc, freq, addr, age)
+
+	case vos.SysBrk:
+		if sc.Args[0] > sc.Prev {
+			h.memBytes += int64(sc.Args[0] - sc.Prev)
+		}
+		h.stats.AccessEvents++
+		ev := &events.Access{
+			Call: "SYS_brk", PID: p.PID,
+			Time: age, Freq: freq, Addr: addr,
+			MemBytes: h.memBytes,
+		}
+		return h.sendAccess(ev)
+	}
+	return vos.Continue
+}
+
+func (h *Harrier) socketcallEnter(p *vos.Process, sc *vos.SyscallCtx, freq int64, addr string, age uint64) vos.Verdict {
+	sock := sc.Sock
+	if sock == nil {
+		return vos.Continue
+	}
+	switch sock.Call {
+	case vos.SockBind, vos.SockConnect:
+		origin := h.sourcesAt(p, sock.AddrPtr, sock.AddrLen)
+		// Record the address-name provenance on the descriptor so
+		// later writes can classify their target (paper Table 2).
+		if sc.Des != nil && p.CPU.Shadow != nil {
+			sc.Des.OriginTag = p.CPU.Shadow.GetRange(sock.AddrPtr, sock.AddrLen)
+		}
+		h.stats.AccessEvents++
+		ev := &events.Access{
+			Call: "SYS_socketcall:" + vos.SockName(sock.Call),
+			PID:  p.PID,
+			Resource: events.Ref{
+				Name: sock.Addr, Type: taint.Socket, Origin: origin,
+			},
+			Time: age, Freq: freq, Addr: addr,
+		}
+		return h.sendAccess(ev)
+
+	case vos.SockAccept:
+		// The accepted connection's identity came from the network.
+		remote := taint.Source{Type: taint.Socket, Name: sock.Addr}
+		if sock.Accepted != nil {
+			sock.Accepted.OriginTag = h.Store.Of(remote)
+		}
+		h.stats.AccessEvents++
+		ev := &events.Access{
+			Call: "SYS_socketcall:accept",
+			PID:  p.PID,
+			Resource: events.Ref{
+				Name: sock.Addr, Type: taint.Socket,
+				Origin: []taint.Source{remote},
+			},
+			Time: age, Freq: freq, Addr: addr,
+		}
+		return h.sendAccess(ev)
+
+	case vos.SockSend:
+		return h.ioEvent(p, sc, events.Write, freq, addr, age)
+
+	case vos.SockRecv:
+		return h.ioEvent(p, sc, events.Read, freq, addr, age)
+	}
+	return vos.Continue
+}
+
+// ioEvent builds and sends a read/write event (paper §6.1.2 type 2).
+func (h *Harrier) ioEvent(p *vos.Process, sc *vos.SyscallCtx, dir events.Dir, freq int64, addr string, age uint64) vos.Verdict {
+	fd := sc.Des
+	if fd == nil {
+		return vos.Continue
+	}
+	h.stats.IOEvents++
+	ev := &events.IO{
+		Call:     sc.Name,
+		PID:      p.PID,
+		Dir:      dir,
+		Resource: h.refOf(fd),
+		Time:     age,
+		Freq:     freq,
+		Addr:     addr,
+	}
+	if dir == events.Write {
+		ev.Data = h.sourcesAt(p, sc.Buf, sc.Len)
+		n := sc.Len
+		if n > 16 {
+			n = 16
+		}
+		ev.Head = p.CPU.Mem.ReadBytes(sc.Buf, n)
+	} else {
+		ev.Data = []taint.Source{fd.Source()}
+	}
+	if fd.Server {
+		ev.Server = true
+		ev.ServerAddr = fd.ServerAddr
+		ev.ServerOrigin = h.Store.Sources(fd.ServerOriginTag)
+	}
+	return h.sendIO(ev)
+}
+
+// refOf renders a descriptor as an event resource reference.
+func (h *Harrier) refOf(fd *vos.FDesc) events.Ref {
+	return events.Ref{
+		Name:   fd.ResourceName(),
+		Type:   fd.ResourceType(),
+		Origin: h.Store.Sources(fd.OriginTag),
+	}
+}
+
+// SyscallExit applies post-call taint effects: freshly opened
+// resources remember their name provenance, and read data is tagged
+// with its source (paper §7.1.1: "When data is being read from a file
+// or socket and stored in memory, Harrier will tag that data with the
+// appropriate data source").
+func (h *Harrier) SyscallExit(p *vos.Process, sc *vos.SyscallCtx) {
+	switch sc.Num {
+	case vos.SysOpen, vos.SysCreat:
+		if sc.Des != nil && p.CPU.Shadow != nil {
+			sc.Des.OriginTag = p.CPU.Shadow.GetRange(sc.PathPtr, sc.PathLen)
+		}
+
+	case vos.SysRead:
+		h.tagReadBuffer(p, sc)
+
+	case vos.SysSocketcall:
+		if sc.Sock != nil && sc.Sock.Call == vos.SockRecv {
+			h.tagReadBuffer(p, sc)
+		}
+	}
+}
+
+func (h *Harrier) tagReadBuffer(p *vos.Process, sc *vos.SyscallCtx) {
+	n := int32(sc.Result)
+	if n <= 0 || sc.Des == nil || p.CPU.Shadow == nil {
+		return
+	}
+	tag := h.Store.Of(sc.Des.Source())
+	p.CPU.Shadow.SetRange(sc.Buf, uint32(n), tag)
+}
+
+// recordClone updates the process-creation counters for the §4.2
+// resource-abuse rules: total clones, and clones within the sliding
+// rate window.
+func (h *Harrier) recordClone(p *vos.Process) (count, rate int64) {
+	h.cloneCount++
+	now := p.OS.Clock
+	h.cloneTimes = append(h.cloneTimes, now)
+	cut := uint64(0)
+	if now > h.cfg.CloneRateWindow {
+		cut = now - h.cfg.CloneRateWindow
+	}
+	kept := h.cloneTimes[:0]
+	for _, t := range h.cloneTimes {
+		if t >= cut {
+			kept = append(kept, t)
+		}
+	}
+	h.cloneTimes = kept
+	return h.cloneCount, int64(len(h.cloneTimes))
+}

@@ -1,0 +1,178 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Span is a contiguous run of executable code belonging to one image.
+// Instruction i sits at guest address Base + i*InstrSize. Spans are
+// immutable once built (the simulator does not support self-modifying
+// code; the paper notes PIN handles it but the prototype relies on it
+// only for completeness).
+type Span struct {
+	Base   uint32
+	Instrs []Instr
+	Image  string // name of the owning image, e.g. "/bin/ls" or "libc.so"
+
+	// Symbols maps instruction index -> routine name for addresses
+	// that are entry points of named routines (used for routine-level
+	// instrumentation and disassembly).
+	Symbols map[int]string
+
+	// BBLeader[i] is the instruction index of the basic-block leader
+	// of instruction i; computed by AnalyzeBlocks.
+	BBLeader []int
+}
+
+// NewSpan builds a span and computes its basic-block structure.
+func NewSpan(base uint32, image string, instrs []Instr, symbols map[int]string) *Span {
+	s := &Span{Base: base, Image: image, Instrs: instrs, Symbols: symbols}
+	if s.Symbols == nil {
+		s.Symbols = map[int]string{}
+	}
+	s.analyzeBlocks()
+	return s
+}
+
+// End returns the first address past the span.
+func (s *Span) End() uint32 { return s.Base + uint32(len(s.Instrs))*InstrSize }
+
+// Contains reports whether addr falls inside the span and is
+// instruction-aligned.
+func (s *Span) Contains(addr uint32) bool {
+	return addr >= s.Base && addr < s.End() && (addr-s.Base)%InstrSize == 0
+}
+
+// Index returns the instruction index of addr within the span.
+func (s *Span) Index(addr uint32) int { return int((addr - s.Base) / InstrSize) }
+
+// Addr returns the guest address of instruction index i.
+func (s *Span) Addr(i int) uint32 { return s.Base + uint32(i)*InstrSize }
+
+// analyzeBlocks computes basic-block leaders: instruction 0, every
+// branch target inside the span, and every instruction following a
+// control transfer (paper §7.4: a basic block is a sequence of
+// instructions ending with a control transfer).
+func (s *Span) analyzeBlocks() {
+	n := len(s.Instrs)
+	leader := make([]bool, n)
+	if n == 0 {
+		s.BBLeader = nil
+		return
+	}
+	leader[0] = true
+	for i, in := range s.Instrs {
+		if in.Op.IsControlTransfer() && i+1 < n {
+			leader[i+1] = true
+		}
+		switch in.Op {
+		case JMP, JZ, JNZ, JL, JLE, JG, JGE, CALL:
+			if in.A.Kind == ImmOperand && s.Contains(in.A.Imm) {
+				leader[s.Index(in.A.Imm)] = true
+			}
+		}
+	}
+	// Routine entry points are leaders too (callers may enter here
+	// from other spans).
+	for idx := range s.Symbols {
+		if idx >= 0 && idx < n {
+			leader[idx] = true
+		}
+	}
+	s.BBLeader = make([]int, n)
+	cur := 0
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			cur = i
+		}
+		s.BBLeader[i] = cur
+	}
+}
+
+// NumBlocks returns the number of distinct basic blocks in the span.
+func (s *Span) NumBlocks() int {
+	n := 0
+	for i, l := range s.BBLeader {
+		if i == l {
+			n++
+		}
+	}
+	return n
+}
+
+// Disassemble renders the span as readable assembly, one instruction
+// per line, with addresses and routine labels.
+func (s *Span) Disassemble() string {
+	out := ""
+	for i, in := range s.Instrs {
+		if name, ok := s.Symbols[i]; ok {
+			out += fmt.Sprintf("%s:\n", name)
+		}
+		out += fmt.Sprintf("  %08x  %s\n", s.Addr(i), in)
+	}
+	return out
+}
+
+// CodeMap resolves guest addresses to spans. Lookups cache the last
+// span hit, since execution is overwhelmingly local.
+type CodeMap struct {
+	spans []*Span // sorted by Base
+	last  *Span
+}
+
+// NewCodeMap returns an empty code map.
+func NewCodeMap() *CodeMap { return &CodeMap{} }
+
+// Add registers a span. Spans must not overlap; Add panics on overlap
+// since that is a loader bug, not a guest error.
+func (cm *CodeMap) Add(s *Span) {
+	for _, o := range cm.spans {
+		if s.Base < o.End() && o.Base < s.End() {
+			panic(fmt.Sprintf("isa: overlapping code spans %#x and %#x", s.Base, o.Base))
+		}
+	}
+	cm.spans = append(cm.spans, s)
+	sort.Slice(cm.spans, func(i, j int) bool { return cm.spans[i].Base < cm.spans[j].Base })
+	cm.last = nil
+}
+
+// Find resolves addr to its span and instruction index.
+func (cm *CodeMap) Find(addr uint32) (*Span, int, bool) {
+	if s := cm.last; s != nil && s.Contains(addr) {
+		return s, s.Index(addr), true
+	}
+	i := sort.Search(len(cm.spans), func(i int) bool { return cm.spans[i].End() > addr })
+	if i < len(cm.spans) && cm.spans[i].Contains(addr) {
+		cm.last = cm.spans[i]
+		return cm.spans[i], cm.spans[i].Index(addr), true
+	}
+	return nil, 0, false
+}
+
+// Spans returns the registered spans in base order.
+func (cm *CodeMap) Spans() []*Span { return cm.spans }
+
+// SymbolAddr looks up a routine name across all spans.
+func (cm *CodeMap) SymbolAddr(name string) (uint32, bool) {
+	for _, s := range cm.spans {
+		for idx, n := range s.Symbols {
+			if n == name {
+				return s.Addr(idx), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Clone returns a code map sharing the same (immutable) spans. The
+// clone's cache is independent.
+func (cm *CodeMap) Clone() *CodeMap {
+	return &CodeMap{spans: append([]*Span(nil), cm.spans...)}
+}
+
+// Reset drops all spans (execve()).
+func (cm *CodeMap) Reset() {
+	cm.spans = nil
+	cm.last = nil
+}

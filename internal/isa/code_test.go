@@ -1,0 +1,175 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpanGeometry(t *testing.T) {
+	s := NewSpan(0x1000, "a.out", []Instr{{Op: NOP}, {Op: NOP}, {Op: HLT}}, nil)
+	if s.End() != 0x100C {
+		t.Errorf("End = %#x", s.End())
+	}
+	if !s.Contains(0x1004) || s.Contains(0x100C) || s.Contains(0x1002) {
+		t.Error("Contains wrong (alignment or bounds)")
+	}
+	if s.Index(0x1008) != 2 || s.Addr(1) != 0x1004 {
+		t.Error("Index/Addr wrong")
+	}
+}
+
+func TestBasicBlockLeaders(t *testing.T) {
+	// 0: mov (leader: first)
+	// 1: jz 4
+	// 2: mov (leader: follows control transfer)
+	// 3: mov
+	// 4: mov (leader: branch target)
+	// 5: hlt
+	instrs := []Instr{
+		{Op: MOV, A: R(EAX), B: Imm(1)},
+		{Op: JZ, A: Imm(0x1000 + 4*InstrSize)},
+		{Op: MOV, A: R(EBX), B: Imm(2)},
+		{Op: MOV, A: R(ECX), B: Imm(3)},
+		{Op: MOV, A: R(EDX), B: Imm(4)},
+		{Op: HLT},
+	}
+	s := NewSpan(0x1000, "a.out", instrs, nil)
+	wantLeaders := []int{0, 0, 2, 2, 4, 4}
+	for i, want := range wantLeaders {
+		if s.BBLeader[i] != want {
+			t.Errorf("BBLeader[%d] = %d, want %d", i, s.BBLeader[i], want)
+		}
+	}
+	if s.NumBlocks() != 3 {
+		t.Errorf("NumBlocks = %d, want 3", s.NumBlocks())
+	}
+}
+
+func TestSymbolEntryIsLeader(t *testing.T) {
+	instrs := []Instr{
+		{Op: MOV, A: R(EAX), B: Imm(1)},
+		{Op: MOV, A: R(EBX), B: Imm(2)}, // routine "helper" starts here
+		{Op: RET},
+	}
+	s := NewSpan(0x2000, "lib.so", instrs, map[int]string{1: "helper"})
+	if s.BBLeader[1] != 1 {
+		t.Error("symbol entry not a leader")
+	}
+}
+
+func TestEmptySpan(t *testing.T) {
+	s := NewSpan(0x1000, "x", nil, nil)
+	if s.NumBlocks() != 0 || s.Contains(0x1000) {
+		t.Error("empty span misbehaves")
+	}
+}
+
+func TestCodeMapFind(t *testing.T) {
+	cm := NewCodeMap()
+	s1 := NewSpan(0x1000, "a", []Instr{{Op: NOP}, {Op: NOP}}, nil)
+	s2 := NewSpan(0x4000, "b", []Instr{{Op: HLT}}, nil)
+	cm.Add(s2)
+	cm.Add(s1)
+	if got, idx, ok := cm.Find(0x1004); !ok || got != s1 || idx != 1 {
+		t.Error("Find s1 failed")
+	}
+	if got, _, ok := cm.Find(0x4000); !ok || got != s2 {
+		t.Error("Find s2 failed")
+	}
+	if _, _, ok := cm.Find(0x3000); ok {
+		t.Error("Find hole succeeded")
+	}
+	if _, _, ok := cm.Find(0x1002); ok {
+		t.Error("Find unaligned succeeded")
+	}
+	// Cached lookup still correct after hitting another span.
+	cm.Find(0x4000)
+	if got, _, ok := cm.Find(0x1000); !ok || got != s1 {
+		t.Error("cached Find failed")
+	}
+}
+
+func TestCodeMapOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on overlap")
+		}
+	}()
+	cm := NewCodeMap()
+	cm.Add(NewSpan(0x1000, "a", []Instr{{Op: NOP}, {Op: NOP}}, nil))
+	cm.Add(NewSpan(0x1004, "b", []Instr{{Op: NOP}}, nil))
+}
+
+func TestCodeMapSymbolAddr(t *testing.T) {
+	cm := NewCodeMap()
+	cm.Add(NewSpan(0x1000, "a", []Instr{{Op: NOP}, {Op: RET}}, map[int]string{1: "f"}))
+	addr, ok := cm.SymbolAddr("f")
+	if !ok || addr != 0x1004 {
+		t.Errorf("SymbolAddr = %#x, %v", addr, ok)
+	}
+	if _, ok := cm.SymbolAddr("missing"); ok {
+		t.Error("found missing symbol")
+	}
+}
+
+func TestCodeMapClone(t *testing.T) {
+	cm := NewCodeMap()
+	cm.Add(NewSpan(0x1000, "a", []Instr{{Op: NOP}}, nil))
+	cl := cm.Clone()
+	if _, _, ok := cl.Find(0x1000); !ok {
+		t.Error("clone missing span")
+	}
+	cl.Reset()
+	if _, _, ok := cm.Find(0x1000); !ok {
+		t.Error("clone Reset affected original")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	s := NewSpan(0x1000, "a", []Instr{
+		{Op: MOV, A: R(EAX), B: Imm(5)},
+		{Op: RET},
+	}, map[int]string{0: "main"})
+	d := s.Disassemble()
+	if !strings.Contains(d, "main:") || !strings.Contains(d, "mov eax, 0x5") {
+		t.Errorf("Disassemble output:\n%s", d)
+	}
+}
+
+func TestOperandString(t *testing.T) {
+	cases := map[string]Operand{
+		"eax":       R(EAX),
+		"0x10":      Imm(0x10),
+		"[0x20]":    Mem(0x20),
+		"[ebx]":     MemBase(EBX, 0),
+		"[ebx+0x4]": MemBase(EBX, 4),
+		"[ebp-0x8]": MemBase(EBP, ^uint32(7)), // -8 two's complement
+	}
+	for want, op := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Operand.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestOpRoundTrip(t *testing.T) {
+	for op := NOP; op < numOps; op++ {
+		name := op.String()
+		got, ok := OpByName(name)
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v", name, got, ok)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted bogus")
+	}
+}
+
+func TestRegRoundTrip(t *testing.T) {
+	for r := EAX; r < NumRegs; r++ {
+		got, ok := RegByName(r.String())
+		if !ok || got != r {
+			t.Errorf("RegByName(%q) failed", r)
+		}
+	}
+}

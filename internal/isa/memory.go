@@ -1,0 +1,129 @@
+package isa
+
+// Memory is a sparse, paged, little-endian 32-bit guest address space.
+// Reads from unmapped pages return zero; writes allocate pages on
+// demand. Every process owns one Memory; fork() clones it.
+type Memory struct {
+	pages map[uint32]*memPage
+}
+
+const (
+	memPageShift = 12
+	memPageSize  = 1 << memPageShift
+	memPageMask  = memPageSize - 1
+)
+
+type memPage struct {
+	data [memPageSize]byte
+}
+
+// NewMemory returns an empty address space.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint32]*memPage)}
+}
+
+// Load8 reads one byte.
+func (m *Memory) Load8(addr uint32) byte {
+	p, ok := m.pages[addr>>memPageShift]
+	if !ok {
+		return 0
+	}
+	return p.data[addr&memPageMask]
+}
+
+// Store8 writes one byte.
+func (m *Memory) Store8(addr uint32, v byte) {
+	idx := addr >> memPageShift
+	p, ok := m.pages[idx]
+	if !ok {
+		p = &memPage{}
+		m.pages[idx] = p
+	}
+	p.data[addr&memPageMask] = v
+}
+
+// Load32 reads a little-endian 32-bit word.
+func (m *Memory) Load32(addr uint32) uint32 {
+	return uint32(m.Load8(addr)) |
+		uint32(m.Load8(addr+1))<<8 |
+		uint32(m.Load8(addr+2))<<16 |
+		uint32(m.Load8(addr+3))<<24
+}
+
+// Store32 writes a little-endian 32-bit word.
+func (m *Memory) Store32(addr uint32, v uint32) {
+	m.Store8(addr, byte(v))
+	m.Store8(addr+1, byte(v>>8))
+	m.Store8(addr+2, byte(v>>16))
+	m.Store8(addr+3, byte(v>>24))
+}
+
+// ReadBytes copies n bytes starting at addr into a new slice.
+func (m *Memory) ReadBytes(addr, n uint32) []byte {
+	out := make([]byte, n)
+	for i := uint32(0); i < n; i++ {
+		out[i] = m.Load8(addr + i)
+	}
+	return out
+}
+
+// WriteBytes copies b into memory starting at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) {
+	for i, v := range b {
+		m.Store8(addr+uint32(i), v)
+	}
+}
+
+// CString reads a NUL-terminated string starting at addr, up to a
+// sanity cap of 64 KiB.
+func (m *Memory) CString(addr uint32) string {
+	const cap = 64 << 10
+	var out []byte
+	for i := uint32(0); i < cap; i++ {
+		b := m.Load8(addr + i)
+		if b == 0 {
+			break
+		}
+		out = append(out, b)
+	}
+	return string(out)
+}
+
+// CStringLen returns the length of the NUL-terminated string at addr
+// (excluding the terminator), capped at 64 KiB.
+func (m *Memory) CStringLen(addr uint32) uint32 {
+	const cap = 64 << 10
+	for i := uint32(0); i < cap; i++ {
+		if m.Load8(addr+i) == 0 {
+			return i
+		}
+	}
+	return cap
+}
+
+// WriteCString writes s followed by a NUL terminator at addr and
+// returns the number of bytes written including the terminator.
+func (m *Memory) WriteCString(addr uint32, s string) uint32 {
+	m.WriteBytes(addr, []byte(s))
+	m.Store8(addr+uint32(len(s)), 0)
+	return uint32(len(s)) + 1
+}
+
+// Clone returns a deep copy of the address space (fork()).
+func (m *Memory) Clone() *Memory {
+	out := NewMemory()
+	for idx, p := range m.pages {
+		cp := &memPage{}
+		cp.data = p.data
+		out.pages[idx] = cp
+	}
+	return out
+}
+
+// Reset drops all pages (execve()).
+func (m *Memory) Reset() {
+	m.pages = make(map[uint32]*memPage)
+}
+
+// Pages returns the number of resident pages.
+func (m *Memory) Pages() int { return len(m.pages) }

@@ -1,0 +1,110 @@
+package isa
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestMemoryZeroDefault(t *testing.T) {
+	m := NewMemory()
+	if m.Load8(0x1234) != 0 || m.Load32(0xFFFF0000) != 0 {
+		t.Error("unmapped memory not zero")
+	}
+	if m.Pages() != 0 {
+		t.Error("reads allocated pages")
+	}
+}
+
+func TestMemoryStoreLoad8(t *testing.T) {
+	m := NewMemory()
+	m.Store8(0x1000, 0xAB)
+	if got := m.Load8(0x1000); got != 0xAB {
+		t.Errorf("Load8 = %#x", got)
+	}
+}
+
+func TestMemoryLittleEndian(t *testing.T) {
+	m := NewMemory()
+	m.Store32(0x2000, 0x11223344)
+	if m.Load8(0x2000) != 0x44 || m.Load8(0x2003) != 0x11 {
+		t.Error("not little-endian")
+	}
+	if m.Load32(0x2000) != 0x11223344 {
+		t.Error("round trip failed")
+	}
+}
+
+func TestMemoryCrossPageWord(t *testing.T) {
+	m := NewMemory()
+	addr := uint32(memPageSize - 2)
+	m.Store32(addr, 0xDEADBEEF)
+	if m.Load32(addr) != 0xDEADBEEF {
+		t.Error("cross-page word failed")
+	}
+}
+
+func TestMemoryBytes(t *testing.T) {
+	m := NewMemory()
+	data := []byte("hello world")
+	m.WriteBytes(0x3000, data)
+	if got := m.ReadBytes(0x3000, uint32(len(data))); !bytes.Equal(got, data) {
+		t.Errorf("ReadBytes = %q", got)
+	}
+}
+
+func TestMemoryCString(t *testing.T) {
+	m := NewMemory()
+	n := m.WriteCString(0x100, "/bin/ls")
+	if n != 8 {
+		t.Errorf("WriteCString returned %d", n)
+	}
+	if got := m.CString(0x100); got != "/bin/ls" {
+		t.Errorf("CString = %q", got)
+	}
+	if got := m.CStringLen(0x100); got != 7 {
+		t.Errorf("CStringLen = %d", got)
+	}
+	if got := m.CString(0x5000); got != "" {
+		t.Errorf("CString of zeros = %q", got)
+	}
+}
+
+func TestMemoryClone(t *testing.T) {
+	m := NewMemory()
+	m.Store32(0x1000, 42)
+	c := m.Clone()
+	c.Store32(0x1000, 99)
+	if m.Load32(0x1000) != 42 {
+		t.Error("clone mutation leaked")
+	}
+	if c.Load32(0x1000) != 99 {
+		t.Error("clone write lost")
+	}
+}
+
+func TestMemoryReset(t *testing.T) {
+	m := NewMemory()
+	m.Store8(0, 1)
+	m.Reset()
+	if m.Load8(0) != 0 || m.Pages() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestMemoryModelProperty(t *testing.T) {
+	m := NewMemory()
+	model := map[uint32]byte{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 10000; i++ {
+		addr := uint32(rng.Intn(4 * memPageSize))
+		v := byte(rng.Intn(256))
+		m.Store8(addr, v)
+		model[addr] = v
+	}
+	for addr, want := range model {
+		if got := m.Load8(addr); got != want {
+			t.Fatalf("addr %#x = %#x, want %#x", addr, got, want)
+		}
+	}
+}

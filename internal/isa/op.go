@@ -1,0 +1,244 @@
+// Package isa defines the guest instruction set executed by the HTH
+// simulator and the interpreting CPU that exposes instrumentation
+// hooks at the same granularities PIN offers Harrier (paper Table 3):
+// instruction, basic block, routine (native), section and image.
+//
+// The ISA is a deliberately x86-flavoured 32-bit register machine:
+// eight general registers (EAX..EDI), a flat little-endian address
+// space, PUSH/POP/CALL/RET stack discipline, Linux-style `int 0x80`
+// system calls, and a CPUID instruction whose outputs carry the
+// HARDWARE data source (paper §5.1, §7.3.1).
+package isa
+
+import "fmt"
+
+// Reg names a general-purpose register. The numbering follows the x86
+// ModR/M order so disassembly reads naturally.
+type Reg uint8
+
+// General-purpose registers.
+const (
+	EAX Reg = iota
+	ECX
+	EDX
+	EBX
+	ESP
+	EBP
+	ESI
+	EDI
+	// NumRegs is the number of general-purpose registers.
+	NumRegs
+)
+
+var regNames = [NumRegs]string{"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"}
+
+// String returns the conventional lowercase register name.
+func (r Reg) String() string {
+	if r < NumRegs {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d", uint8(r))
+}
+
+// RegByName resolves a register name ("eax") to its Reg, reporting
+// whether the name is known.
+func RegByName(name string) (Reg, bool) {
+	for i, n := range regNames {
+		if n == name {
+			return Reg(i), true
+		}
+	}
+	return 0, false
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Instruction opcodes. Two-operand forms follow the Intel convention:
+// the first operand is the destination.
+const (
+	NOP Op = iota
+	HLT    // stop the processor (process exit without syscall)
+
+	// Data movement.
+	MOV  // mov dst, src (32-bit)
+	MOVB // movb dst, src (8-bit; registers use their low byte)
+	LEA  // lea reg, [mem] — loads the effective address
+
+	// Arithmetic / logic (dst = dst OP src). Flags: ZF, SF from result.
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	MUL // low 32 bits of product
+	DIVOP
+	MODOP
+	SHL
+	SHR
+	NOT // one operand
+	NEG // one operand
+	INC // one operand
+	DEC // one operand
+
+	// Comparison: set flags from dst-src / dst&src without writing dst.
+	CMP
+	TEST
+
+	// Stack.
+	PUSH
+	POP
+
+	// Control transfer.
+	JMP
+	JZ  // jump if ZF
+	JNZ // jump if !ZF
+	JL  // jump if signed less (last CMP)
+	JLE
+	JG
+	JGE
+	CALL
+	RET
+
+	// System interaction.
+	INT    // int imm — imm 0x80 invokes the OS syscall handler
+	CPUID  // loads processor identification into EAX..EDX (HARDWARE)
+	RDTSC  // loads the cycle counter into EDX:EAX (HARDWARE)
+	NATIVE // host-implemented library routine; behaves as body+RET
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", HLT: "hlt",
+	MOV: "mov", MOVB: "movb", LEA: "lea",
+	ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	MUL: "mul", DIVOP: "div", MODOP: "mod", SHL: "shl", SHR: "shr",
+	NOT: "not", NEG: "neg", INC: "inc", DEC: "dec",
+	CMP: "cmp", TEST: "test",
+	PUSH: "push", POP: "pop",
+	JMP: "jmp", JZ: "jz", JNZ: "jnz", JL: "jl", JLE: "jle", JG: "jg", JGE: "jge",
+	CALL: "call", RET: "ret",
+	INT: "int", CPUID: "cpuid", RDTSC: "rdtsc", NATIVE: "native",
+}
+
+// String returns the assembler mnemonic for the opcode.
+func (o Op) String() string {
+	if o < numOps {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// OpByName resolves a mnemonic to its opcode.
+func OpByName(name string) (Op, bool) {
+	for i, n := range opNames {
+		if n == name && n != "" {
+			return Op(i), true
+		}
+	}
+	return 0, false
+}
+
+// IsControlTransfer reports whether the opcode may change EIP
+// non-sequentially; such instructions end a basic block.
+func (o Op) IsControlTransfer() bool {
+	switch o {
+	case JMP, JZ, JNZ, JL, JLE, JG, JGE, CALL, RET, INT, HLT, NATIVE:
+		return true
+	}
+	return false
+}
+
+// IsCondJump reports whether the opcode is a conditional jump.
+func (o Op) IsCondJump() bool {
+	switch o {
+	case JZ, JNZ, JL, JLE, JG, JGE:
+		return true
+	}
+	return false
+}
+
+// OperandKind distinguishes the addressing modes of an operand.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	NoOperand  OperandKind = iota
+	RegOperand             // register
+	ImmOperand             // immediate constant (or resolved address)
+	MemOperand             // memory: [disp] or [base+disp]
+)
+
+// Operand is one instruction operand. For MemOperand, the effective
+// address is Imm plus the base register's value when HasBase is set;
+// displacements are two's-complement so negative offsets wrap.
+type Operand struct {
+	Kind    OperandKind
+	Reg     Reg    // register, or base register when HasBase
+	HasBase bool   // memory operand uses Reg as base
+	Imm     uint32 // immediate / displacement / absolute address
+}
+
+// R returns a register operand.
+func R(r Reg) Operand { return Operand{Kind: RegOperand, Reg: r} }
+
+// Imm returns an immediate operand.
+func Imm(v uint32) Operand { return Operand{Kind: ImmOperand, Imm: v} }
+
+// Mem returns an absolute memory operand [addr].
+func Mem(addr uint32) Operand { return Operand{Kind: MemOperand, Imm: addr} }
+
+// MemBase returns a base+displacement memory operand [reg+disp].
+func MemBase(r Reg, disp uint32) Operand {
+	return Operand{Kind: MemOperand, Reg: r, HasBase: true, Imm: disp}
+}
+
+// String renders the operand in assembler syntax.
+func (op Operand) String() string {
+	switch op.Kind {
+	case NoOperand:
+		return ""
+	case RegOperand:
+		return op.Reg.String()
+	case ImmOperand:
+		return fmt.Sprintf("%#x", op.Imm)
+	case MemOperand:
+		if op.HasBase {
+			if op.Imm == 0 {
+				return fmt.Sprintf("[%s]", op.Reg)
+			}
+			if int32(op.Imm) < 0 {
+				return fmt.Sprintf("[%s-%#x]", op.Reg, uint32(-int32(op.Imm)))
+			}
+			return fmt.Sprintf("[%s+%#x]", op.Reg, op.Imm)
+		}
+		return fmt.Sprintf("[%#x]", op.Imm)
+	}
+	return "?"
+}
+
+// InstrSize is the fixed encoded size of every guest instruction in
+// guest address units; instruction i of a span sits at Base+i*InstrSize.
+const InstrSize = 4
+
+// Instr is one decoded guest instruction. A is the destination (or the
+// branch target, or the sole operand); B is the source.
+type Instr struct {
+	Op     Op
+	A, B   Operand
+	Native int // index into the CPU native table when Op == NATIVE
+	Line   int // source line in the originating assembly, for diagnostics
+}
+
+// String renders the instruction in assembler syntax.
+func (in Instr) String() string {
+	switch {
+	case in.A.Kind == NoOperand:
+		return in.Op.String()
+	case in.B.Kind == NoOperand:
+		return fmt.Sprintf("%s %s", in.Op, in.A)
+	default:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.A, in.B)
+	}
+}

@@ -1,0 +1,76 @@
+// Package report renders the reproduction's results in the shape of
+// the paper's tables: one row per benchmark with HTH's outcome and
+// whether the paper-reported expectation was met.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple text table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+		fmt.Fprintf(&b, "%s\n", strings.Repeat("=", len(t.Title)))
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// Titles of the paper's tables, keyed by the corpus table ids.
+var Titles = map[string]string{
+	"T1": "Table 1: Execution patterns exhibited by malicious code",
+	"T4": "Table 4: HTH Micro benchmarks - Execution Flow",
+	"T5": "Table 5: HTH Micro benchmarks - Resource Abuse",
+	"T6": "Table 6: HTH Micro benchmarks - Information Flow",
+	"T7": "Table 7: HTH Success in not warning when running well behaved programs",
+	"T8": "Table 8: HTH Success detecting Real exploits",
+	"M1": "Section 8.4.1: pwsafe macro benchmark",
+	"M2": "Section 8.4.2: mw2.2.1 macro benchmark",
+	"M3": "Section 8.4.3: Tic Tac Toe macro benchmark",
+}
+
+// TableIDs lists the renderable tables in paper order.
+var TableIDs = []string{"T1", "T4", "T5", "T6", "T7", "T8", "M1", "M2", "M3"}

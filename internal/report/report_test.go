@@ -1,0 +1,54 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		Title:  "Demo",
+		Header: []string{"Name", "Value"},
+	}
+	tbl.Add("short", "1")
+	tbl.Add("a-much-longer-name", "22")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "Demo" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if lines[1] != "====" {
+		t.Errorf("underline = %q", lines[1])
+	}
+	// Columns aligned: every row's "Value" column starts at the same
+	// offset.
+	idx := strings.Index(lines[2], "Value")
+	for _, l := range lines[4:] {
+		if len(l) < idx {
+			t.Fatalf("short row %q", l)
+		}
+	}
+	if !strings.Contains(out, "a-much-longer-name  22") {
+		t.Errorf("row alignment broken:\n%s", out)
+	}
+	if !strings.Contains(lines[3], "----") {
+		t.Errorf("separator missing: %q", lines[3])
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tbl := &Table{Header: []string{"A"}}
+	tbl.Add("x")
+	out := tbl.String()
+	if strings.HasPrefix(out, "\n") || strings.Contains(out, "==") {
+		t.Errorf("untitled table rendered a title block:\n%s", out)
+	}
+}
+
+func TestTitlesCoverTableIDs(t *testing.T) {
+	for _, id := range TableIDs {
+		if Titles[id] == "" {
+			t.Errorf("no title for %s", id)
+		}
+	}
+}

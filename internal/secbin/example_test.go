@@ -1,0 +1,31 @@
+package secbin_test
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/secbin"
+)
+
+// ExampleVerify checks a Trojan dropper against the Appendix B
+// "Secure Binary" rules.
+func ExampleVerify() {
+	img := asm.MustAssemble("/bin/dropper", `
+.text
+_start:
+    mov ebx, path
+    mov eax, 8          ; creat
+    int 0x80
+    hlt
+.data
+path: .asciz "/tmp/.hidden"
+`)
+	rep, err := secbin.Verify(img)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Print(rep)
+	// Output:
+	// /bin/dropper: NOT a Secure Binary — 1 violation(s)
+	//   hardcoded-resource-name at .text[2] (SYS_creat): resource name is symbol "path" ("/tmp/.hidden")
+}

@@ -1,0 +1,361 @@
+// Package secbin implements the "Secure Binary" concept of the
+// paper's Appendix B: a binary is *safer* (not safe) with respect to
+// Trojan Horses and Backdoors if no file or socket name it uses is
+// hardcoded, and data written to such resources is never hardcoded.
+//
+// The verifier is a conservative static analysis over the synthetic
+// image format: within each basic block it tracks which registers
+// hold values that point into the image's own sections (i.e.
+// hardcoded data), and inspects every `int 0x80` site:
+//
+//   - open/creat/execve with EBX pointing into the image ⇒ hardcoded
+//     resource name;
+//   - write with ECX pointing into the image ⇒ hardcoded data written
+//     to a resource;
+//   - socketcall whose in-image argument block names an in-image
+//     address string ⇒ hardcoded socket name.
+//
+// Absence of findings does not certify the binary (names can be
+// computed), which is exactly the Appendix's claim: a Secure Binary
+// is "safer but not safe".
+package secbin
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+)
+
+// Kind classifies a violation.
+type Kind int
+
+// Violation kinds.
+const (
+	// HardcodedName: a resource-naming syscall receives a pointer
+	// into the binary's own data (Appendix B rule 1, relaxed form).
+	HardcodedName Kind = iota
+	// HardcodedData: a write sends bytes that live in the binary
+	// (Appendix B rule 1, relaxed form, second clause).
+	HardcodedData
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == HardcodedName {
+		return "hardcoded-resource-name"
+	}
+	return "hardcoded-data-write"
+}
+
+// Violation is one Secure Binary rule violation.
+type Violation struct {
+	Kind    Kind
+	Section string // text section name
+	Instr   int    // instruction index of the int 0x80
+	Call    string // SYS_* name
+	Detail  string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s at %s[%d] (%s): %s", v.Kind, v.Section, v.Instr, v.Call, v.Detail)
+}
+
+// Report is the verifier's result for one image.
+type Report struct {
+	Image      string
+	Violations []Violation
+}
+
+// Secure reports whether no violations were found.
+func (r *Report) Secure() bool { return len(r.Violations) == 0 }
+
+// String renders the report.
+func (r *Report) String() string {
+	if r.Secure() {
+		return fmt.Sprintf("%s: SECURE BINARY (no hardcoded resource usage found)\n", r.Image)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: NOT a Secure Binary — %d violation(s)\n", r.Image, len(r.Violations))
+	for _, v := range r.Violations {
+		fmt.Fprintf(&b, "  %s\n", v)
+	}
+	return b.String()
+}
+
+// value is the abstract value a register may hold inside one basic
+// block: unknown, or a known constant (possibly an image-relative
+// address because it came from a relocation).
+type value struct {
+	known   bool
+	imm     uint32
+	inImage bool   // imm was produced by a relocation into this image
+	symbol  string // best-effort name of the referenced symbol
+}
+
+// Verify runs the Secure Binary analysis on one image.
+func Verify(img *image.Image) (*Report, error) {
+	if err := img.Validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Image: img.Name}
+	for si := range img.Sections {
+		sec := &img.Sections[si]
+		if sec.Kind != image.Text {
+			continue
+		}
+		verifySection(img, si, sec, rep)
+	}
+	return rep, nil
+}
+
+// relocInfo answers whether an operand of an instruction was
+// relocated (and therefore is an address of image data).
+func relocInfo(img *image.Image, section, instr int, slot image.OperandSlot) (string, bool) {
+	for _, r := range img.Relocs {
+		if r.Section == section && r.Instr == instr && r.Slot == slot {
+			return r.Symbol, true
+		}
+	}
+	return "", false
+}
+
+// dataRelocAt answers whether the data word wordOff bytes past symbol
+// sym holds a relocated (image) address.
+func dataRelocAt(img *image.Image, sym string, wordOff int) (string, bool) {
+	symDef, ok := img.Symbols[sym]
+	if !ok {
+		return "", false
+	}
+	for _, r := range img.DataRels {
+		if r.Section == symDef.Section && r.Offset == symDef.Offset+wordOff {
+			return r.Symbol, true
+		}
+	}
+	return "", false
+}
+
+// analysis is the per-section abstract state.
+type analysis struct {
+	img  *image.Image
+	si   int
+	sec  *image.Section
+	rep  *Report
+	regs [isa.NumRegs]value
+	// mem tracks block-local stores of known values to statically
+	// named locations: "sym+off" -> value. This is how the verifier
+	// sees through socketcall argument blocks built at run time
+	// (mov [scargs+4], addr).
+	mem map[string]value
+}
+
+func (a *analysis) reset() {
+	a.regs = [isa.NumRegs]value{}
+	a.mem = map[string]value{}
+}
+
+// memKey names a statically resolvable memory operand, when possible.
+func (a *analysis) memKey(instr int, slot image.OperandSlot, op isa.Operand) (string, bool) {
+	if op.Kind != isa.MemOperand || op.HasBase {
+		return "", false
+	}
+	sym, ok := relocInfo(a.img, a.si, instr, slot)
+	if !ok {
+		return "", false
+	}
+	return fmt.Sprintf("%s+%d", sym, op.Imm), true
+}
+
+func verifySection(img *image.Image, si int, sec *image.Section, rep *Report) {
+	// Recompute block leaders (same rule as isa.Span, without bases).
+	leaders := make([]bool, len(sec.Instrs))
+	if len(sec.Instrs) > 0 {
+		leaders[0] = true
+	}
+	for i, in := range sec.Instrs {
+		if in.Op.IsControlTransfer() && i+1 < len(sec.Instrs) {
+			leaders[i+1] = true
+		}
+	}
+	for off := range img.TextSymbols(si) {
+		if off < len(leaders) {
+			leaders[off] = true
+		}
+	}
+
+	a := &analysis{img: img, si: si, sec: sec, rep: rep}
+	a.reset()
+
+	for i, in := range sec.Instrs {
+		if leaders[i] {
+			a.reset()
+		}
+		switch in.Op {
+		case isa.MOV:
+			var v value
+			switch in.B.Kind {
+			case isa.ImmOperand:
+				sym, relocated := relocInfo(img, si, i, image.SlotB)
+				v = value{known: true, imm: in.B.Imm, inImage: relocated, symbol: sym}
+			case isa.RegOperand:
+				v = a.regs[in.B.Reg]
+			case isa.MemOperand:
+				if k, ok := a.memKey(i, image.SlotB, in.B); ok {
+					v = a.mem[k]
+				}
+			}
+			switch in.A.Kind {
+			case isa.RegOperand:
+				a.regs[in.A.Reg] = v
+			case isa.MemOperand:
+				if k, ok := a.memKey(i, image.SlotA, in.A); ok {
+					a.mem[k] = v
+				}
+			}
+		case isa.INT:
+			if in.A.Kind == isa.ImmOperand && in.A.Imm == 0x80 {
+				a.checkSyscall(i)
+			}
+			// EAX is clobbered by the syscall result.
+			a.regs[isa.EAX] = value{}
+		case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR, isa.MUL,
+			isa.DIVOP, isa.MODOP, isa.SHL, isa.SHR, isa.NOT, isa.NEG,
+			isa.INC, isa.DEC, isa.LEA, isa.MOVB, isa.POP:
+			// Any other write to a register makes it unknown. A
+			// pointer adjusted by a constant keeps its provenance
+			// (indexing into image data is still image data).
+			if in.A.Kind == isa.RegOperand {
+				if in.Op == isa.ADD && in.B.Kind == isa.ImmOperand && a.regs[in.A.Reg].inImage {
+					a.regs[in.A.Reg].imm += in.B.Imm
+				} else {
+					a.regs[in.A.Reg] = value{}
+				}
+			}
+		case isa.CALL:
+			// Calls clobber the caller-visible state conservatively.
+			a.reset()
+		}
+	}
+}
+
+// syscall numbers the verifier understands (Linux i386, as in vos).
+const (
+	sysRead       = 3
+	sysWrite      = 4
+	sysOpen       = 5
+	sysCreat      = 8
+	sysExecve     = 11
+	sysSocketcall = 102
+)
+
+func (a *analysis) checkSyscall(i int) {
+	eax := a.regs[isa.EAX]
+	if !eax.known {
+		return // cannot tell which call: stay conservative but quiet
+	}
+	add := func(kind Kind, call, detail string) {
+		a.rep.Violations = append(a.rep.Violations, Violation{
+			Kind: kind, Section: a.sec.Name, Instr: i, Call: call, Detail: detail,
+		})
+	}
+	nameOf := func(v value) string {
+		if v.symbol != "" {
+			return fmt.Sprintf("symbol %q (%s)", v.symbol, stringAt(a.img, v.symbol))
+		}
+		return fmt.Sprintf("address %#x", v.imm)
+	}
+	switch eax.imm {
+	case sysOpen, sysCreat, sysExecve:
+		callName := map[uint32]string{sysOpen: "SYS_open", sysCreat: "SYS_creat", sysExecve: "SYS_execve"}[eax.imm]
+		if ebx := a.regs[isa.EBX]; ebx.known && ebx.inImage {
+			add(HardcodedName, callName, "resource name is "+nameOf(ebx))
+		}
+	case sysWrite:
+		// Only *initialized* image data is hardcoded; a zeroed
+		// .space buffer filled at run time is not (Appendix B's rule
+		// concerns data baked into the binary).
+		if ecx := a.regs[isa.ECX]; ecx.known && ecx.inImage && initializedAt(a.img, ecx.symbol) {
+			add(HardcodedData, "SYS_write", "written data is "+nameOf(ecx))
+		}
+	case sysSocketcall:
+		ebx, ecx := a.regs[isa.EBX], a.regs[isa.ECX]
+		if !ebx.known || !ecx.known || !ecx.inImage || ecx.symbol == "" {
+			return
+		}
+		// args[1] of the socketcall block: either stored in this
+		// block at run time, or baked into the data section.
+		arg1, tracked := a.mem[fmt.Sprintf("%s+%d", ecx.symbol, 4)]
+		if !tracked {
+			if sym, ok := dataRelocAt(a.img, ecx.symbol, 4); ok {
+				arg1 = value{known: true, inImage: true, symbol: sym}
+				tracked = true
+			}
+		}
+		if !tracked || !arg1.known || !arg1.inImage {
+			return
+		}
+		switch ebx.imm {
+		case 2, 3: // bind, connect: args[1] is the address string
+			add(HardcodedName, "SYS_socketcall:"+sockName(ebx.imm),
+				"socket address is "+nameOf(arg1))
+		case 9: // send: args[1] is the buffer
+			if initializedAt(a.img, arg1.symbol) {
+				add(HardcodedData, "SYS_socketcall:send",
+					"sent data is "+nameOf(arg1))
+			}
+		}
+	}
+}
+
+func sockName(n uint32) string {
+	if n == 2 {
+		return "bind"
+	}
+	return "connect"
+}
+
+// initializedAt reports whether the data a symbol points at carries
+// initialized (non-zero) content in the image. Unknown symbols are
+// treated as initialized (conservative).
+func initializedAt(img *image.Image, symName string) bool {
+	if symName == "" {
+		return true
+	}
+	sym, ok := img.Symbols[symName]
+	if !ok {
+		return true
+	}
+	sec := &img.Sections[sym.Section]
+	if sec.Kind == image.Text {
+		return true
+	}
+	end := sym.Offset + 64
+	if end > len(sec.Data) {
+		end = len(sec.Data)
+	}
+	for _, b := range sec.Data[sym.Offset:end] {
+		if b != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// stringAt renders the NUL-terminated string a data symbol points at,
+// for human-readable reports.
+func stringAt(img *image.Image, symName string) string {
+	sym, ok := img.Symbols[symName]
+	if !ok {
+		return "?"
+	}
+	sec := &img.Sections[sym.Section]
+	if sec.Kind == image.Text {
+		return "<code>"
+	}
+	end := sym.Offset
+	for end < len(sec.Data) && sec.Data[end] != 0 && end-sym.Offset < 64 {
+		end++
+	}
+	return fmt.Sprintf("%q", sec.Data[sym.Offset:end])
+}

@@ -1,0 +1,310 @@
+package secbin
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+)
+
+func verify(t *testing.T, src string) *Report {
+	t.Helper()
+	img := asm.MustAssemble("/bin/test", src)
+	rep, err := Verify(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestSecureProgramPasses(t *testing.T) {
+	// Every resource name comes from argv; the written data comes
+	// from a file read at run time.
+	rep := verify(t, `
+.text
+_start:
+    mov ebp, [esp+4]
+    mov ebx, [ebp+4]    ; argv[1] file name
+    mov ecx, 0
+    mov eax, 5          ; open
+    int 0x80
+    mov ebx, eax
+    mov ecx, buf
+    mov edx, 8
+    mov eax, 3          ; read — buf as *read* destination is fine
+    int 0x80
+    mov ebx, [ebp+8]
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 11         ; execve of a user-named program
+    int 0x80
+    hlt
+.data
+buf: .space 8
+`)
+	if !rep.Secure() {
+		t.Errorf("secure program flagged: %s", rep)
+	}
+	if !strings.Contains(rep.String(), "SECURE BINARY") {
+		t.Errorf("report = %q", rep.String())
+	}
+}
+
+func TestHardcodedExecveFlagged(t *testing.T) {
+	rep := verify(t, `
+.text
+_start:
+    mov ebx, prog
+    mov ecx, 0
+    mov edx, 0
+    mov eax, 11
+    int 0x80
+    hlt
+.data
+prog: .asciz "/bin/ls"
+`)
+	if rep.Secure() {
+		t.Fatal("hardcoded execve not flagged")
+	}
+	v := rep.Violations[0]
+	if v.Kind != HardcodedName || v.Call != "SYS_execve" {
+		t.Errorf("violation = %+v", v)
+	}
+	if !strings.Contains(v.Detail, `"/bin/ls"`) {
+		t.Errorf("detail = %q", v.Detail)
+	}
+}
+
+func TestHardcodedOpenAndCreatFlagged(t *testing.T) {
+	rep := verify(t, `
+.text
+_start:
+    mov ebx, f1
+    mov ecx, 0
+    mov eax, 5          ; open
+    int 0x80
+    mov ebx, f2
+    mov eax, 8          ; creat
+    int 0x80
+    hlt
+.data
+f1: .asciz "/etc/passwd"
+f2: .asciz "/tmp/drop"
+`)
+	if len(rep.Violations) != 2 {
+		t.Fatalf("violations = %v", rep.Violations)
+	}
+	if rep.Violations[0].Call != "SYS_open" || rep.Violations[1].Call != "SYS_creat" {
+		t.Errorf("calls = %v", rep.Violations)
+	}
+}
+
+func TestHardcodedWriteDataFlagged(t *testing.T) {
+	rep := verify(t, `
+.text
+_start:
+    mov ebp, [esp+4]
+    mov ebx, [ebp+4]
+    mov eax, 8          ; creat(argv[1]) — name is fine
+    int 0x80
+    mov ebx, eax
+    mov ecx, payload    ; but the data is hardcoded
+    mov edx, 8
+    mov eax, 4
+    int 0x80
+    hlt
+.data
+payload: .asciz "PAYLOAD"
+`)
+	if len(rep.Violations) != 1 || rep.Violations[0].Kind != HardcodedData {
+		t.Fatalf("violations = %v", rep.Violations)
+	}
+}
+
+func TestHardcodedConnectViaRuntimeStore(t *testing.T) {
+	// The socketcall argument block is filled at run time — the
+	// block-local memory tracking must see through it.
+	rep := verify(t, `
+.text
+_start:
+    mov eax, 102
+    mov ebx, 1
+    mov ecx, scargs
+    int 0x80
+    mov [scargs], eax
+    mov [scargs+4], addr
+    mov eax, 102
+    mov ebx, 3          ; connect
+    mov ecx, scargs
+    int 0x80
+    hlt
+.data
+addr:   .asciz "evil.example:6667"
+scargs: .space 12
+`)
+	if rep.Secure() {
+		t.Fatal("hardcoded connect not flagged")
+	}
+	v := rep.Violations[0]
+	if v.Kind != HardcodedName || v.Call != "SYS_socketcall:connect" {
+		t.Errorf("violation = %+v", v)
+	}
+	if !strings.Contains(v.Detail, "evil.example:6667") {
+		t.Errorf("detail = %q", v.Detail)
+	}
+}
+
+func TestHardcodedBindViaDataReloc(t *testing.T) {
+	// The argument block is baked into the data section with .word.
+	rep := verify(t, `
+.text
+_start:
+    mov eax, 102
+    mov ebx, 2          ; bind
+    mov ecx, bindargs
+    int 0x80
+    hlt
+.data
+addr:     .asciz "localhost:1084"
+bindargs: .word 0, addr, 0
+`)
+	if rep.Secure() {
+		t.Fatal("hardcoded bind not flagged")
+	}
+	if rep.Violations[0].Call != "SYS_socketcall:bind" {
+		t.Errorf("violation = %+v", rep.Violations[0])
+	}
+}
+
+func TestHardcodedSendFlagged(t *testing.T) {
+	rep := verify(t, `
+.text
+_start:
+    mov [scargs], 3
+    mov [scargs+4], secret
+    mov [scargs+8], 8
+    mov eax, 102
+    mov ebx, 9          ; send
+    mov ecx, scargs
+    int 0x80
+    hlt
+.data
+secret: .asciz "KEYDATA"
+scargs: .space 12
+`)
+	if rep.Secure() || rep.Violations[0].Kind != HardcodedData {
+		t.Fatalf("report = %s", rep)
+	}
+}
+
+func TestUserNamePassedThroughRegistersOK(t *testing.T) {
+	// A register copy of a runtime value stays unknown.
+	rep := verify(t, `
+.text
+_start:
+    mov ebp, [esp+4]
+    mov esi, [ebp+4]
+    mov ebx, esi
+    mov eax, 11
+    int 0x80
+    hlt
+`)
+	if !rep.Secure() {
+		t.Errorf("flagged: %s", rep)
+	}
+}
+
+func TestPointerArithmeticKeepsProvenance(t *testing.T) {
+	// prog+1 is still inside the image.
+	rep := verify(t, `
+.text
+_start:
+    mov ebx, prog
+    add ebx, 1
+    mov eax, 11
+    int 0x80
+    hlt
+.data
+prog: .asciz "//bin/ls"
+`)
+	if rep.Secure() {
+		t.Error("adjusted hardcoded pointer not flagged")
+	}
+}
+
+func TestBlockBoundaryResetsState(t *testing.T) {
+	// The name is loaded in a different basic block reached by a
+	// jump: the conservative analysis forgets it — no false verdict
+	// either way, but crucially no crash and no spurious report of
+	// the *read* path.
+	rep := verify(t, `
+.text
+_start:
+    mov ebx, prog
+    jmp doit
+doit:
+    mov eax, 11
+    int 0x80
+    hlt
+.data
+prog: .asciz "/bin/ls"
+`)
+	// After the jump, EBX is unknown (sound for "safer, not safe").
+	if !rep.Secure() {
+		t.Errorf("cross-block tracking over-approximated: %s", rep)
+	}
+}
+
+func TestCorpusTrojansAreNotSecure(t *testing.T) {
+	// The Appendix B claim on real subjects: the exploit corpus is
+	// full of hardcoded resource usage.
+	cases := map[string]string{
+		"dropper": `
+.text
+_start:
+    mov ebx, f
+    mov eax, 8
+    int 0x80
+    hlt
+.data
+f: .asciz "./Window"
+`,
+	}
+	for name, src := range cases {
+		if rep := verify(t, src); rep.Secure() {
+			t.Errorf("%s passed the Secure Binary check", name)
+		}
+	}
+}
+
+func TestVerifyValidates(t *testing.T) {
+	img := asm.MustAssemble("/bin/x", ".text\n_start: hlt\n")
+	img.Entry = "missing"
+	if _, err := Verify(img); err == nil {
+		t.Error("invalid image accepted")
+	}
+}
+
+func TestRuntimeBufferWriteNotFlagged(t *testing.T) {
+	// Writing a .space buffer (filled at run time) is not hardcoded
+	// data; only initialized image content counts.
+	rep := verify(t, `
+.text
+_start:
+    mov ebp, [esp+4]
+    mov ebx, [ebp+4]
+    mov eax, 8          ; creat(argv[1])
+    int 0x80
+    mov ebx, eax
+    mov ecx, buf        ; a runtime buffer
+    mov edx, 8
+    mov eax, 4
+    int 0x80
+    hlt
+.data
+buf: .space 8
+`)
+	if !rep.Secure() {
+		t.Errorf("runtime buffer flagged: %s", rep)
+	}
+}

@@ -1,0 +1,121 @@
+package secpert
+
+import (
+	"repro/internal/taint"
+)
+
+// originClass is the policy's classification of where a resource
+// *name* came from (paper Table 2's resource ID data source).
+type originClass int
+
+// Name-origin classes, in increasing suspicion order for display;
+// classification priority is Remote > Hardcoded > User > Unknown.
+const (
+	originUnknown originClass = iota
+	originUser
+	originHardcoded
+	originRemote
+)
+
+func (c originClass) String() string {
+	switch c {
+	case originUser:
+		return "user"
+	case originHardcoded:
+		return "hardcoded"
+	case originRemote:
+		return "remote"
+	}
+	return "unknown"
+}
+
+// trustedBinary reports whether the image is in the trusted set
+// (libc.so, ld-linux.so by default; paper Appendix A.2).
+func (s *Secpert) trustedBinary(name string) bool {
+	for _, t := range s.cfg.TrustedBinaries {
+		if t == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Secpert) trustedSocket(name string) bool {
+	for _, t := range s.cfg.TrustedSockets {
+		if t == name {
+			return true
+		}
+	}
+	return false
+}
+
+// filterBinary returns the names of untrusted BINARY sources — the
+// filter_binary function of the paper's CLIPS rule (Appendix A.2).
+func (s *Secpert) filterBinary(srcs []taint.Source) []string {
+	var out []string
+	for _, src := range srcs {
+		if src.Type == taint.Binary && !s.trustedBinary(src.Name) {
+			out = append(out, src.Name)
+		}
+	}
+	return out
+}
+
+// filterSocket returns the names of untrusted SOCKET sources — the
+// filter_socket function of the paper's CLIPS rule.
+func (s *Secpert) filterSocket(srcs []taint.Source) []string {
+	var out []string
+	for _, src := range srcs {
+		if src.Type == taint.Socket && !s.trustedSocket(src.Name) {
+			out = append(out, src.Name)
+		}
+	}
+	return out
+}
+
+func namesOfType(srcs []taint.Source, t taint.SourceType) []string {
+	var out []string
+	for _, src := range srcs {
+		if src.Type == t {
+			out = append(out, src.Name)
+		}
+	}
+	return out
+}
+
+func hasType(srcs []taint.Source, t taint.SourceType) bool {
+	for _, src := range srcs {
+		if src.Type == t {
+			return true
+		}
+	}
+	return false
+}
+
+// classifyOrigin reduces a name's source set to its class and the
+// supporting resource names. Remote beats hardcoded beats user: a
+// name assembled from a hardcoded host and a user port counts as
+// hardcoded (paper §8.3.6: "it is hardcoded because we use LocalHost,
+// the port is given by the user").
+func (s *Secpert) classifyOrigin(srcs []taint.Source) (originClass, []string) {
+	if socks := s.filterSocket(srcs); len(socks) > 0 {
+		return originRemote, socks
+	}
+	if bins := s.filterBinary(srcs); len(bins) > 0 {
+		return originHardcoded, bins
+	}
+	if users := namesOfType(srcs, taint.UserInput); len(users) > 0 {
+		return originUser, users
+	}
+	return originUnknown, nil
+}
+
+// isRare applies the code-frequency reinforcement of §4.1: the
+// triggering basic block ran fewer than RareFrequency times although
+// the program has been running for at least LongTime ticks.
+func (s *Secpert) isRare(freq, time int64) bool {
+	if s.cfg.DisableFrequency {
+		return false
+	}
+	return freq > 0 && freq < s.cfg.RareFrequency && time > s.cfg.LongTime
+}

@@ -1,0 +1,426 @@
+// Package secpert implements Secpert, the HTH security expert system
+// (paper §6): the policy of §4 expressed as production rules over the
+// events Harrier reports, evaluated by the CLIPS-style engine in
+// internal/expert. Every warning carries a severity (Low / Medium /
+// High — §4's confidence labels), a paper-style message, and the fire
+// trace that justifies it.
+package secpert
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/events"
+	"repro/internal/expert"
+	"repro/internal/taint"
+)
+
+// Severity is the confidence label of a warning (paper §4).
+type Severity int
+
+// Severities, ordered.
+const (
+	Low Severity = iota
+	Medium
+	High
+)
+
+// String renders the label as the paper prints it.
+func (s Severity) String() string {
+	switch s {
+	case Low:
+		return "LOW"
+	case Medium:
+		return "MEDIUM"
+	case High:
+		return "HIGH"
+	}
+	return "?"
+}
+
+// Category groups rules as in §4.
+type Category int
+
+// Rule categories.
+const (
+	ExecutionFlow Category = iota
+	ResourceAbuse
+	InformationFlow
+)
+
+// String names the category.
+func (c Category) String() string {
+	switch c {
+	case ExecutionFlow:
+		return "execution-flow"
+	case ResourceAbuse:
+		return "resource-abuse"
+	case InformationFlow:
+		return "information-flow"
+	}
+	return "?"
+}
+
+// Warning is one policy alert.
+type Warning struct {
+	Severity Severity `json:"severity"`
+	Category Category `json:"category"`
+	Rule     string   `json:"rule"`
+	Message  string   `json:"message"` // paper-style multi-line text
+	PID      int      `json:"pid"`
+	Time     uint64   `json:"time"`
+	FactIDs  []int    `json:"fact_ids,omitempty"`
+}
+
+// MarshalJSON renders the severity as its label.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", s.String())), nil
+}
+
+// MarshalJSON renders the category as its label.
+func (c Category) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", c.String())), nil
+}
+
+// String renders the warning as the paper does.
+func (w Warning) String() string {
+	return fmt.Sprintf("Warning [%s] %s", w.Severity, w.Message)
+}
+
+// Decision is the advisor's answer to a warning: the user's choice to
+// continue or kill the application (paper §4).
+type Decision int
+
+// Decisions.
+const (
+	Proceed Decision = iota
+	Terminate
+)
+
+// Advisor models the user consulted on each warning.
+type Advisor interface {
+	Advise(w *Warning) Decision
+}
+
+// AdvisorFunc adapts a function to Advisor.
+type AdvisorFunc func(w *Warning) Decision
+
+// Advise implements Advisor.
+func (f AdvisorFunc) Advise(w *Warning) Decision { return f(w) }
+
+// ContinueAlways proceeds past every warning (the evaluation mode the
+// paper uses: "if we allow HTH to continue...").
+func ContinueAlways() Advisor {
+	return AdvisorFunc(func(*Warning) Decision { return Proceed })
+}
+
+// KillAtOrAbove terminates the guest on warnings at or above the
+// given severity.
+func KillAtOrAbove(min Severity) Advisor {
+	return AdvisorFunc(func(w *Warning) Decision {
+		if w.Severity >= min {
+			return Terminate
+		}
+		return Proceed
+	})
+}
+
+// Config tunes the policy.
+type Config struct {
+	// TrustedBinaries are shared objects whose hardcoded data is not
+	// suspicious (paper §A.2: "In our prototype we trust the libc and
+	// ld-linux shared objects").
+	TrustedBinaries []string
+	// TrustedSockets are socket addresses treated as benign origins.
+	// Empty by default ("We do not trust any sockets although our
+	// implementation does support this").
+	TrustedSockets []string
+
+	// RareFrequency: a basic block executed fewer than this many
+	// times counts as rare (§4.1 code-frequency reinforcement).
+	RareFrequency int64
+	// LongTime: the program must have run at least this many virtual
+	// ticks for rarity to matter ("program started a while ago").
+	LongTime int64
+
+	// CloneCountHigh triggers the Low resource-abuse warning (§4.2).
+	CloneCountHigh int64
+	// CloneRateHigh triggers the Medium resource-abuse warning: this
+	// many clones inside the monitor's rate window.
+	CloneRateHigh int64
+
+	// DisableInfoFlow turns off the information-flow rules (used by
+	// the mw macro benchmark, §8.4.2, and the ablation benches).
+	DisableInfoFlow bool
+	// DisableFrequency ignores code-frequency reinforcement.
+	DisableFrequency bool
+
+	// History, when set, enables the cross-session extensions (paper
+	// §10 items 6 and 8): executing a file written by a previous
+	// monitored session escalates to High, and warnings the user
+	// approved before are suppressed. Call Secpert.FinishSession at
+	// the end of each run. (Not serializable: configure in code.)
+	History *History `json:"-"`
+
+	// EnableMemoryAbuse activates the memory-abuse rules (paper §10
+	// item 4): heap growth beyond MemHighBytes warns Low; beyond
+	// MemVeryHighBytes warns Medium.
+	EnableMemoryAbuse bool
+	MemHighBytes      int64
+	MemVeryHighBytes  int64
+
+	// EnableContentAnalysis activates downloaded-content typing
+	// (paper §10 item 5): socket-sourced data that looks executable
+	// being written to a file escalates the finding and explains why.
+	EnableContentAnalysis bool
+}
+
+// ConfigFromJSON overlays JSON policy settings onto the defaults, so
+// a policy file only needs the fields it changes:
+//
+//	{"TrustedBinaries": ["libc.so"], "RareFrequency": 5,
+//	 "EnableMemoryAbuse": true}
+func ConfigFromJSON(data []byte) (Config, error) {
+	cfg := DefaultConfig()
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return Config{}, fmt.Errorf("secpert: policy file: %w", err)
+	}
+	return cfg, nil
+}
+
+// DefaultConfig mirrors the paper's prototype settings.
+func DefaultConfig() Config {
+	return Config{
+		TrustedBinaries:  []string{"libc.so", "ld-linux.so"},
+		RareFrequency:    3,
+		LongTime:         20_000,
+		CloneCountHigh:   8,
+		CloneRateHigh:    8,
+		MemHighBytes:     1 << 20,
+		MemVeryHighBytes: 16 << 20,
+	}
+}
+
+// Secpert is the security expert system instance for one monitored
+// program run.
+type Secpert struct {
+	cfg     Config
+	eng     *expert.Engine
+	advisor Advisor
+
+	warnings []Warning
+	pending  Decision
+
+	// origins remembers the name-provenance of every resource the
+	// program has accessed (paper §7.1: open/close tracking "allows
+	// us to find the data source of the resource id").
+	origins map[string][]taint.Source
+
+	// once dedupes the resource-abuse warnings, which would otherwise
+	// repeat on every clone past the threshold.
+	once map[string]bool
+
+	// sessionWrites collects file paths written this session, for
+	// History.commit.
+	sessionWrites []string
+	suppressed    int
+}
+
+// New builds a Secpert with the given policy configuration.
+func New(cfg Config, advisor Advisor) *Secpert {
+	if advisor == nil {
+		advisor = ContinueAlways()
+	}
+	s := &Secpert{
+		cfg:     cfg,
+		eng:     expert.NewEngine(),
+		advisor: advisor,
+		origins: make(map[string][]taint.Source),
+		once:    make(map[string]bool),
+	}
+	s.defineTemplates()
+	s.defineRules()
+	return s
+}
+
+// SetOutput directs the engine's CLIPS-style fire trace and rule
+// printout to w.
+func (s *Secpert) SetOutput(w io.Writer) { s.eng.Out = w }
+
+// SetAssertEcho additionally echoes every asserted event fact in the
+// CLIPS transcript style of the paper's Appendix A.1
+// ("CLIPS> (assert (system_call_access ...))").
+func (s *Secpert) SetAssertEcho(w io.Writer) { s.eng.Echo = w }
+
+// Engine exposes the underlying expert engine (for extension rules).
+func (s *Secpert) Engine() *expert.Engine { return s.eng }
+
+// Config returns the active configuration.
+func (s *Secpert) Config() Config { return s.cfg }
+
+// Warnings returns all warnings issued so far.
+func (s *Secpert) Warnings() []Warning { return s.warnings }
+
+// Trace returns the engine fire trace.
+func (s *Secpert) Trace() []expert.FireRecord { return s.eng.Trace() }
+
+// WarningsAt returns the warnings with exactly the given severity.
+func (s *Secpert) WarningsAt(sev Severity) []Warning {
+	var out []Warning
+	for _, w := range s.warnings {
+		if w.Severity == sev {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// MaxSeverity returns the highest severity seen and whether any
+// warning was issued at all.
+func (s *Secpert) MaxSeverity() (Severity, bool) {
+	if len(s.warnings) == 0 {
+		return Low, false
+	}
+	max := Low
+	for _, w := range s.warnings {
+		if w.Severity > max {
+			max = w.Severity
+		}
+	}
+	return max, true
+}
+
+// HandleAccess analyzes a resource-access event, returning the
+// verdict while the guest is paused.
+func (s *Secpert) HandleAccess(ev *events.Access) Decision {
+	// Remember the resource's name provenance for later data-flow
+	// classification (Table 2). Provenance accumulates: when several
+	// monitored programs touch the same resource (simultaneous
+	// sessions, §10 item 7), all observed origins count.
+	if ev.Resource.Name != "" {
+		s.origins[ev.Resource.Name] = mergeSources(s.origins[ev.Resource.Name], ev.Resource.Origin)
+	}
+	s.pending = Proceed
+	f, err := s.eng.Assert("system_call_access", accessSlots(ev))
+	if err != nil {
+		panic(fmt.Sprintf("secpert: internal: %v", err))
+	}
+	s.eng.Run(0)
+	s.eng.Retract(f.ID)
+	return s.pending
+}
+
+// HandleIO analyzes a data-transfer event.
+func (s *Secpert) HandleIO(ev *events.IO) Decision {
+	if ev.Dir == events.Write && ev.Resource.Type == taint.File &&
+		ev.Resource.Name != "stdout" && ev.Resource.Name != "stderr" {
+		s.sessionWrites = append(s.sessionWrites, ev.Resource.Name)
+	}
+	s.pending = Proceed
+	f, err := s.eng.Assert("system_call_io", ioSlots(ev))
+	if err != nil {
+		panic(fmt.Sprintf("secpert: internal: %v", err))
+	}
+	s.eng.Run(0)
+	s.eng.Retract(f.ID)
+	return s.pending
+}
+
+// OriginOf reports the recorded name-provenance of a resource.
+func (s *Secpert) OriginOf(name string) []taint.Source { return s.origins[name] }
+
+// warn records a warning, prints it CLIPS-style, and consults the
+// advisor.
+func (s *Secpert) warn(ctx *expert.Context, cat Category, sev Severity, pid int, t uint64, msg string) {
+	w := Warning{
+		Severity: sev,
+		Category: cat,
+		Rule:     ctx.Rule.Name,
+		Message:  msg,
+		PID:      pid,
+		Time:     t,
+		FactIDs:  append([]int(nil), ctx.IDs...),
+	}
+	if s.cfg.History != nil && s.cfg.History.Approved(&w) {
+		// The user allowed an identical warning in a previous
+		// session: adaptive suppression (§10 item 8).
+		s.suppressed++
+		return
+	}
+	s.warnings = append(s.warnings, w)
+	ctx.Printf("Warning [%s] %s\n", sev, msg)
+	if s.advisor.Advise(&w) == Terminate {
+		s.pending = Terminate
+	}
+}
+
+// sourceLists converts sources into the parallel (types, names)
+// multifields used in facts.
+func sourceLists(srcs []taint.Source) (types, names []expert.Value) {
+	types = make([]expert.Value, len(srcs))
+	names = make([]expert.Value, len(srcs))
+	for i, src := range srcs {
+		types[i] = src.Type.String()
+		names[i] = src.Name
+	}
+	return types, names
+}
+
+// listsToSources is the inverse of sourceLists, used by rule actions.
+func listsToSources(types, names []expert.Value) []taint.Source {
+	n := len(types)
+	if len(names) < n {
+		n = len(names)
+	}
+	out := make([]taint.Source, 0, n)
+	for i := 0; i < n; i++ {
+		tn, _ := types[i].(string)
+		nm, _ := names[i].(string)
+		out = append(out, taint.Source{Type: typeByName(tn), Name: nm})
+	}
+	return out
+}
+
+func typeByName(name string) taint.SourceType {
+	for _, t := range []taint.SourceType{
+		taint.UserInput, taint.File, taint.Socket, taint.Binary,
+		taint.Hardware, taint.Unknown,
+	} {
+		if t.String() == name {
+			return t
+		}
+	}
+	return taint.None
+}
+
+// mergeSources unions two source sets, preserving canonical order via
+// simple append-and-dedup (sets here are tiny).
+func mergeSources(a, b []taint.Source) []taint.Source {
+	if len(a) == 0 {
+		return b
+	}
+	out := append([]taint.Source(nil), a...)
+	for _, src := range b {
+		dup := false
+		for _, have := range out {
+			if have == src {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, src)
+		}
+	}
+	return out
+}
+
+func quoteList(names []string) string {
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%q", n)
+	}
+	return "(" + strings.Join(parts, " ") + ")"
+}

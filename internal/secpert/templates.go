@@ -1,0 +1,105 @@
+package secpert
+
+import (
+	"repro/internal/events"
+	"repro/internal/expert"
+)
+
+// defineTemplates registers the fact shapes of paper Appendix A.1:
+// system_call_access for resource accesses and system_call_io for
+// data transfers.
+func (s *Secpert) defineTemplates() {
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(s.eng.DefTemplate(&expert.Template{
+		Name: "system_call_access",
+		Slots: []expert.SlotDef{
+			{Name: "system_call_name"},
+			{Name: "resource_name"},
+			{Name: "resource_type"},
+			{Name: "resource_origin_name", Multi: true},
+			{Name: "resource_origin_type", Multi: true},
+			{Name: "time", Default: int64(0)},
+			{Name: "frequency", Default: int64(0)},
+			{Name: "address", Default: ""},
+			{Name: "pid", Default: int64(0)},
+			{Name: "clone_count", Default: int64(0)},
+			{Name: "clone_rate", Default: int64(0)},
+			{Name: "mem_bytes", Default: int64(0)},
+		},
+	}))
+	must(s.eng.DefTemplate(&expert.Template{
+		Name: "system_call_io",
+		Slots: []expert.SlotDef{
+			{Name: "system_call_name"},
+			{Name: "direction"},
+			{Name: "data_source_type", Multi: true},
+			{Name: "data_source_name", Multi: true},
+			{Name: "resource_name"},
+			{Name: "resource_type"},
+			{Name: "resource_origin_name", Multi: true},
+			{Name: "resource_origin_type", Multi: true},
+			{Name: "head", Default: ""},
+			{Name: "server", Default: "no"},
+			{Name: "server_addr", Default: ""},
+			{Name: "server_origin_name", Multi: true},
+			{Name: "server_origin_type", Multi: true},
+			{Name: "time", Default: int64(0)},
+			{Name: "frequency", Default: int64(0)},
+			{Name: "address", Default: ""},
+			{Name: "pid", Default: int64(0)},
+		},
+	}))
+}
+
+// accessSlots converts an Access event into fact slots.
+func accessSlots(ev *events.Access) map[string]expert.Value {
+	types, names := sourceLists(ev.Resource.Origin)
+	return map[string]expert.Value{
+		"system_call_name":     ev.Call,
+		"resource_name":        ev.Resource.Name,
+		"resource_type":        ev.Resource.Type.String(),
+		"resource_origin_name": names,
+		"resource_origin_type": types,
+		"time":                 int64(ev.Time),
+		"frequency":            ev.Freq,
+		"address":              ev.Addr,
+		"pid":                  int64(ev.PID),
+		"clone_count":          ev.CloneCount,
+		"clone_rate":           ev.CloneRate,
+		"mem_bytes":            ev.MemBytes,
+	}
+}
+
+// ioSlots converts an IO event into fact slots.
+func ioSlots(ev *events.IO) map[string]expert.Value {
+	dTypes, dNames := sourceLists(ev.Data)
+	oTypes, oNames := sourceLists(ev.Resource.Origin)
+	sTypes, sNames := sourceLists(ev.ServerOrigin)
+	server := "no"
+	if ev.Server {
+		server = "yes"
+	}
+	return map[string]expert.Value{
+		"system_call_name":     ev.Call,
+		"direction":            ev.Dir.String(),
+		"data_source_type":     dTypes,
+		"data_source_name":     dNames,
+		"resource_name":        ev.Resource.Name,
+		"resource_type":        ev.Resource.Type.String(),
+		"resource_origin_name": oNames,
+		"resource_origin_type": oTypes,
+		"head":                 string(ev.Head),
+		"server":               server,
+		"server_addr":          ev.ServerAddr,
+		"server_origin_name":   sNames,
+		"server_origin_type":   sTypes,
+		"time":                 int64(ev.Time),
+		"frequency":            ev.Freq,
+		"address":              ev.Addr,
+		"pid":                  int64(ev.PID),
+	}
+}

@@ -1,0 +1,25 @@
+package taint_test
+
+import (
+	"fmt"
+
+	"repro/internal/taint"
+)
+
+// Example shows source-set interning and union: the core of Harrier's
+// per-instruction data-flow tracking.
+func Example() {
+	st := taint.NewStore()
+	fileTag := st.Of(taint.Source{Type: taint.File, Name: "/etc/passwd"})
+	binTag := st.Of(taint.Source{Type: taint.Binary, Name: "/bin/evil"})
+
+	// add %ebx, %eax: the destination unions both operand tag sets.
+	result := st.Union(fileTag, binTag)
+	fmt.Println(st.String(result))
+
+	// Unions are interned: recomputing yields the identical tag.
+	fmt.Println(st.Union(fileTag, binTag) == result)
+	// Output:
+	// {FILE:"/etc/passwd", BINARY:"/bin/evil"}
+	// true
+}

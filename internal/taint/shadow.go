@@ -1,0 +1,124 @@
+package taint
+
+// Shadow is a sparse per-byte tag map mirroring a guest address space.
+// Pages are allocated on first tainted write; reading an unallocated
+// page yields Empty. This matches Harrier's design where the data
+// structures tracking taint grow with the footprint of tainted data
+// (paper §7.3.1, §9).
+type Shadow struct {
+	store *Store
+	pages map[uint32]*shadowPage
+}
+
+const (
+	pageShift = 12
+	pageSize  = 1 << pageShift
+	pageMask  = pageSize - 1
+)
+
+type shadowPage struct {
+	tags [pageSize]Tag
+}
+
+// NewShadow returns an empty shadow map backed by the given store.
+func NewShadow(store *Store) *Shadow {
+	return &Shadow{store: store, pages: make(map[uint32]*shadowPage)}
+}
+
+// Store returns the tag store this shadow resolves tags against.
+func (sh *Shadow) Store() *Store { return sh.store }
+
+// Get returns the tag of the byte at addr.
+func (sh *Shadow) Get(addr uint32) Tag {
+	p, ok := sh.pages[addr>>pageShift]
+	if !ok {
+		return Empty
+	}
+	return p.tags[addr&pageMask]
+}
+
+// Set assigns the tag of the byte at addr. Setting Empty on an
+// unallocated page is a no-op (no page is created).
+func (sh *Shadow) Set(addr uint32, t Tag) {
+	idx := addr >> pageShift
+	p, ok := sh.pages[idx]
+	if !ok {
+		if t == Empty {
+			return
+		}
+		p = &shadowPage{}
+		sh.pages[idx] = p
+	}
+	p.tags[addr&pageMask] = t
+}
+
+// SetRange assigns the same tag to n bytes starting at addr.
+func (sh *Shadow) SetRange(addr, n uint32, t Tag) {
+	for i := uint32(0); i < n; i++ {
+		sh.Set(addr+i, t)
+	}
+}
+
+// GetRange returns the union of the tags of n bytes starting at addr.
+func (sh *Shadow) GetRange(addr, n uint32) Tag {
+	out := Empty
+	for i := uint32(0); i < n; i++ {
+		out = sh.store.Union(out, sh.Get(addr+i))
+	}
+	return out
+}
+
+// GetWord returns the union of the four byte tags at addr (the tag of
+// a 32-bit load).
+func (sh *Shadow) GetWord(addr uint32) Tag {
+	return sh.GetRange(addr, 4)
+}
+
+// SetWord assigns t to the four bytes at addr (the tag of a 32-bit
+// store).
+func (sh *Shadow) SetWord(addr uint32, t Tag) {
+	sh.SetRange(addr, 4, t)
+}
+
+// Copy copies n byte tags from src to dst, preserving per-byte
+// precision (used when guest memory is copied wholesale, e.g. fork).
+func (sh *Shadow) Copy(dst, src, n uint32) {
+	if dst == src || n == 0 {
+		return
+	}
+	if dst < src {
+		for i := uint32(0); i < n; i++ {
+			sh.Set(dst+i, sh.Get(src+i))
+		}
+		return
+	}
+	for i := n; i > 0; i-- {
+		sh.Set(dst+i-1, sh.Get(src+i-1))
+	}
+}
+
+// Clone returns a deep copy of the shadow map sharing the same store.
+// Used by fork(): the child inherits the parent's taint state.
+func (sh *Shadow) Clone() *Shadow {
+	out := NewShadow(sh.store)
+	for idx, p := range sh.pages {
+		cp := &shadowPage{}
+		cp.tags = p.tags
+		out.pages[idx] = cp
+	}
+	return out
+}
+
+// ClearRange resets n bytes starting at addr to Empty.
+func (sh *Shadow) ClearRange(addr, n uint32) {
+	sh.SetRange(addr, n, Empty)
+}
+
+// Reset drops all pages, returning the shadow to the untainted state.
+// Used by execve(), which replaces the address space.
+func (sh *Shadow) Reset() {
+	sh.pages = make(map[uint32]*shadowPage)
+}
+
+// Pages returns the number of shadow pages currently allocated.
+func (sh *Shadow) Pages() int { return len(sh.pages) }

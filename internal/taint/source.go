@@ -1,0 +1,293 @@
+// Package taint implements the data-source tracking substrate used by
+// Harrier to label every register and memory byte with the set of
+// resources the data originated from (paper §5.1, §7.3).
+//
+// A Source is a (type, name) pair such as (File, "/etc/passwd") or
+// (Binary, "/bin/ls"). A Tag is an interned identifier for a canonical,
+// sorted set of sources; tag unions are cached so that per-instruction
+// propagation is a single map lookup in the common case.
+package taint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SourceType classifies where a piece of data originated
+// (paper §5.1 lists exactly these five resource types).
+type SourceType uint8
+
+const (
+	// None is the zero SourceType; it never appears inside a Source.
+	None SourceType = iota
+	// UserInput marks data typed by the user: stdin reads, command-line
+	// arguments, environment and auxiliary variables (paper §7.3.3).
+	UserInput
+	// File marks data read from a file in the filesystem.
+	File
+	// Socket marks data received from a network connection.
+	Socket
+	// Binary marks data loaded from an executable or shared object,
+	// i.e. hardcoded values (paper §5.1).
+	Binary
+	// Hardware marks data produced by the hardware, e.g. CPUID output.
+	Hardware
+	// Unknown marks data whose provenance the prototype cannot
+	// establish (paper §5.1 footnote 4).
+	Unknown
+)
+
+var sourceTypeNames = [...]string{
+	None:      "NONE",
+	UserInput: "USER_INPUT",
+	File:      "FILE",
+	Socket:    "SOCKET",
+	Binary:    "BINARY",
+	Hardware:  "HARDWARE",
+	Unknown:   "UNKNOWN",
+}
+
+// String returns the CLIPS-style name of the source type, e.g.
+// "USER_INPUT" or "BINARY", matching the paper's fact notation.
+func (t SourceType) String() string {
+	if int(t) < len(sourceTypeNames) {
+		return sourceTypeNames[t]
+	}
+	return fmt.Sprintf("SourceType(%d)", uint8(t))
+}
+
+// Valid reports whether t is one of the defined source types.
+func (t SourceType) Valid() bool {
+	return t >= UserInput && t <= Unknown
+}
+
+// Source identifies one origin of data: its type and the name of the
+// resource (file path, socket address, image name). UserInput and
+// Hardware sources carry a descriptive name ("stdin", "argv", "cpuid").
+type Source struct {
+	Type SourceType
+	Name string
+}
+
+// String renders the source as TYPE:"name".
+func (s Source) String() string {
+	return fmt.Sprintf("%s:%q", s.Type, s.Name)
+}
+
+// Less orders sources canonically: by type, then by name.
+func (s Source) Less(o Source) bool {
+	if s.Type != o.Type {
+		return s.Type < o.Type
+	}
+	return s.Name < o.Name
+}
+
+// Tag names an interned set of sources. The zero Tag is the empty set
+// (untainted data). Tags are only meaningful relative to the Store
+// that created them.
+type Tag uint32
+
+// Empty is the untainted tag: the empty source set.
+const Empty Tag = 0
+
+// Store interns source sets and caches unions. A Store is not safe for
+// concurrent use; the simulator is single-threaded per run, matching
+// Harrier's synchronous event model (paper §6.1.1).
+type Store struct {
+	sets    [][]Source     // sets[tag] = canonical sorted source set
+	index   map[string]Tag // canonical key -> tag
+	unions  map[[2]Tag]Tag // cached unions
+	singles map[Source]Tag // fast path for single-source tags
+	unionN  uint64         // statistics: union operations performed
+	hitN    uint64         // statistics: union cache hits
+}
+
+// NewStore returns an empty store whose tag 0 is the empty set.
+func NewStore() *Store {
+	return &Store{
+		sets:    [][]Source{nil}, // tag 0 = empty set
+		index:   map[string]Tag{"": Empty},
+		unions:  make(map[[2]Tag]Tag),
+		singles: make(map[Source]Tag),
+	}
+}
+
+// Of returns the tag for a single source, interning it on first use.
+func (st *Store) Of(s Source) Tag {
+	if t, ok := st.singles[s]; ok {
+		return t
+	}
+	t := st.intern([]Source{s})
+	st.singles[s] = t
+	return t
+}
+
+// OfAll returns the tag for the set of the given sources (deduplicated
+// and sorted). An empty argument list yields Empty.
+func (st *Store) OfAll(sources ...Source) Tag {
+	if len(sources) == 0 {
+		return Empty
+	}
+	if len(sources) == 1 {
+		return st.Of(sources[0])
+	}
+	set := append([]Source(nil), sources...)
+	sort.Slice(set, func(i, j int) bool { return set[i].Less(set[j]) })
+	set = dedup(set)
+	return st.intern(set)
+}
+
+func dedup(set []Source) []Source {
+	out := set[:0]
+	for i, s := range set {
+		if i == 0 || s != set[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func key(set []Source) string {
+	var b strings.Builder
+	for _, s := range set {
+		b.WriteByte(byte(s.Type))
+		b.WriteString(s.Name)
+		b.WriteByte(0)
+	}
+	return b.String()
+}
+
+// intern stores a canonical (sorted, deduplicated) set.
+func (st *Store) intern(set []Source) Tag {
+	k := key(set)
+	if t, ok := st.index[k]; ok {
+		return t
+	}
+	t := Tag(len(st.sets))
+	st.sets = append(st.sets, set)
+	st.index[k] = t
+	return t
+}
+
+// Union returns the tag for the union of the two source sets.
+// Union(x, Empty) == x for all x. Results are cached both ways.
+func (st *Store) Union(a, b Tag) Tag {
+	if a == b || b == Empty {
+		return a
+	}
+	if a == Empty {
+		return b
+	}
+	if a > b {
+		a, b = b, a
+	}
+	st.unionN++
+	if t, ok := st.unions[[2]Tag{a, b}]; ok {
+		st.hitN++
+		return t
+	}
+	sa, sb := st.sets[a], st.sets[b]
+	merged := make([]Source, 0, len(sa)+len(sb))
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		switch {
+		case sa[i] == sb[j]:
+			merged = append(merged, sa[i])
+			i++
+			j++
+		case sa[i].Less(sb[j]):
+			merged = append(merged, sa[i])
+			i++
+		default:
+			merged = append(merged, sb[j])
+			j++
+		}
+	}
+	merged = append(merged, sa[i:]...)
+	merged = append(merged, sb[j:]...)
+	t := st.intern(merged)
+	st.unions[[2]Tag{a, b}] = t
+	return t
+}
+
+// UnionAll folds Union over the given tags.
+func (st *Store) UnionAll(tags ...Tag) Tag {
+	out := Empty
+	for _, t := range tags {
+		out = st.Union(out, t)
+	}
+	return out
+}
+
+// Sources returns the canonical source set named by t. The returned
+// slice must not be modified. An unknown tag yields nil.
+func (st *Store) Sources(t Tag) []Source {
+	if int(t) >= len(st.sets) {
+		return nil
+	}
+	return st.sets[t]
+}
+
+// Has reports whether the set named by t contains any source of the
+// given type.
+func (st *Store) Has(t Tag, typ SourceType) bool {
+	for _, s := range st.sets[validIdx(st, t)] {
+		if s.Type == typ {
+			return true
+		}
+	}
+	return false
+}
+
+// OfType returns the sources of the given type contained in t.
+func (st *Store) OfType(t Tag, typ SourceType) []Source {
+	var out []Source
+	for _, s := range st.sets[validIdx(st, t)] {
+		if s.Type == typ {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Contains reports whether the set named by t contains exactly the
+// given source.
+func (st *Store) Contains(t Tag, src Source) bool {
+	for _, s := range st.sets[validIdx(st, t)] {
+		if s == src {
+			return true
+		}
+	}
+	return false
+}
+
+func validIdx(st *Store, t Tag) int {
+	if int(t) >= len(st.sets) {
+		return 0
+	}
+	return int(t)
+}
+
+// Len returns the number of sources in the set named by t.
+func (st *Store) Len(t Tag) int { return len(st.Sources(t)) }
+
+// String renders the source set named by t, e.g.
+// {FILE:"/etc/passwd", BINARY:"/bin/ls"}. Empty renders as {}.
+func (st *Store) String(t Tag) string {
+	set := st.Sources(t)
+	if len(set) == 0 {
+		return "{}"
+	}
+	parts := make([]string, len(set))
+	for i, s := range set {
+		parts[i] = s.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Stats reports interning statistics: distinct sets, union operations,
+// and union cache hits.
+func (st *Store) Stats() (sets int, unions, hits uint64) {
+	return len(st.sets), st.unionN, st.hitN
+}

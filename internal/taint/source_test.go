@@ -1,0 +1,282 @@
+package taint
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceTypeString(t *testing.T) {
+	cases := map[SourceType]string{
+		None:      "NONE",
+		UserInput: "USER_INPUT",
+		File:      "FILE",
+		Socket:    "SOCKET",
+		Binary:    "BINARY",
+		Hardware:  "HARDWARE",
+		Unknown:   "UNKNOWN",
+	}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+	if got := SourceType(200).String(); got != "SourceType(200)" {
+		t.Errorf("out-of-range String() = %q", got)
+	}
+}
+
+func TestSourceTypeValid(t *testing.T) {
+	for _, typ := range []SourceType{UserInput, File, Socket, Binary, Hardware, Unknown} {
+		if !typ.Valid() {
+			t.Errorf("%v.Valid() = false", typ)
+		}
+	}
+	if None.Valid() {
+		t.Error("None.Valid() = true")
+	}
+	if SourceType(99).Valid() {
+		t.Error("SourceType(99).Valid() = true")
+	}
+}
+
+func TestEmptyTag(t *testing.T) {
+	st := NewStore()
+	if got := st.Sources(Empty); got != nil {
+		t.Errorf("Sources(Empty) = %v, want nil", got)
+	}
+	if st.Len(Empty) != 0 {
+		t.Errorf("Len(Empty) = %d", st.Len(Empty))
+	}
+	if got := st.String(Empty); got != "{}" {
+		t.Errorf("String(Empty) = %q", got)
+	}
+	if st.Has(Empty, File) {
+		t.Error("Has(Empty, File) = true")
+	}
+}
+
+func TestOfInterning(t *testing.T) {
+	st := NewStore()
+	s := Source{File, "/etc/passwd"}
+	a := st.Of(s)
+	b := st.Of(s)
+	if a != b {
+		t.Errorf("Of interning failed: %d != %d", a, b)
+	}
+	if a == Empty {
+		t.Error("Of returned Empty for a non-empty source")
+	}
+	got := st.Sources(a)
+	if len(got) != 1 || got[0] != s {
+		t.Errorf("Sources = %v, want [%v]", got, s)
+	}
+}
+
+func TestOfAllCanonicalization(t *testing.T) {
+	st := NewStore()
+	a := Source{File, "a"}
+	b := Source{Socket, "b"}
+	t1 := st.OfAll(a, b)
+	t2 := st.OfAll(b, a)
+	t3 := st.OfAll(b, a, b, a) // duplicates
+	if t1 != t2 || t2 != t3 {
+		t.Errorf("order/duplicate independence failed: %d %d %d", t1, t2, t3)
+	}
+	if st.Len(t1) != 2 {
+		t.Errorf("Len = %d, want 2", st.Len(t1))
+	}
+}
+
+func TestOfAllEmpty(t *testing.T) {
+	st := NewStore()
+	if got := st.OfAll(); got != Empty {
+		t.Errorf("OfAll() = %d, want Empty", got)
+	}
+}
+
+func TestUnionBasics(t *testing.T) {
+	st := NewStore()
+	a := st.Of(Source{File, "f"})
+	b := st.Of(Source{Socket, "s"})
+	u := st.Union(a, b)
+	if u == a || u == b || u == Empty {
+		t.Fatalf("Union produced a degenerate tag: %d", u)
+	}
+	if !st.Has(u, File) || !st.Has(u, Socket) {
+		t.Errorf("union missing members: %s", st.String(u))
+	}
+	// Identity laws.
+	if st.Union(a, Empty) != a || st.Union(Empty, a) != a {
+		t.Error("Union with Empty is not identity")
+	}
+	if st.Union(a, a) != a {
+		t.Error("Union is not idempotent")
+	}
+	// Commutativity through the cache.
+	if st.Union(b, a) != u {
+		t.Error("Union is not commutative")
+	}
+}
+
+func TestUnionAbsorption(t *testing.T) {
+	st := NewStore()
+	a := st.Of(Source{File, "f"})
+	b := st.Of(Source{Socket, "s"})
+	u := st.Union(a, b)
+	if st.Union(u, a) != u {
+		t.Error("a∪b ∪ a != a∪b")
+	}
+	if st.Union(u, u) != u {
+		t.Error("u ∪ u != u")
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	st := NewStore()
+	tags := []Tag{
+		st.Of(Source{File, "a"}),
+		st.Of(Source{File, "b"}),
+		st.Of(Source{Binary, "c"}),
+		Empty,
+	}
+	u := st.UnionAll(tags...)
+	if st.Len(u) != 3 {
+		t.Errorf("UnionAll len = %d, want 3", st.Len(u))
+	}
+	if st.UnionAll() != Empty {
+		t.Error("UnionAll() != Empty")
+	}
+}
+
+func TestOfTypeAndContains(t *testing.T) {
+	st := NewStore()
+	f1 := Source{File, "one"}
+	f2 := Source{File, "two"}
+	b := Source{Binary, "img"}
+	u := st.OfAll(f1, f2, b)
+	files := st.OfType(u, File)
+	if len(files) != 2 {
+		t.Fatalf("OfType(File) = %v", files)
+	}
+	if !st.Contains(u, b) {
+		t.Error("Contains(b) = false")
+	}
+	if st.Contains(u, Source{Socket, "x"}) {
+		t.Error("Contains(socket) = true")
+	}
+}
+
+func TestStoreStringFormat(t *testing.T) {
+	st := NewStore()
+	u := st.OfAll(Source{File, "f"}, Source{Binary, "b"})
+	want := `{FILE:"f", BINARY:"b"}`
+	if got := st.String(u); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestInvalidTagIsSafe(t *testing.T) {
+	st := NewStore()
+	bogus := Tag(9999)
+	if st.Sources(bogus) != nil {
+		t.Error("Sources(bogus) != nil")
+	}
+	if st.Has(bogus, File) {
+		t.Error("Has(bogus) = true")
+	}
+	if st.OfType(bogus, File) != nil {
+		t.Error("OfType(bogus) != nil")
+	}
+}
+
+func TestUnionStats(t *testing.T) {
+	st := NewStore()
+	a := st.Of(Source{File, "f"})
+	b := st.Of(Source{Socket, "s"})
+	st.Union(a, b)
+	st.Union(a, b) // cache hit
+	sets, unions, hits := st.Stats()
+	if sets < 3 {
+		t.Errorf("sets = %d, want >= 3", sets)
+	}
+	if unions != 2 || hits != 1 {
+		t.Errorf("unions = %d hits = %d, want 2/1", unions, hits)
+	}
+}
+
+// Property: the union of two sets contains exactly the members of both.
+func TestUnionProperty(t *testing.T) {
+	st := NewStore()
+	names := []string{"a", "b", "c", "d", "e"}
+	types := []SourceType{UserInput, File, Socket, Binary, Hardware}
+	mkTag := func(bits uint8) Tag {
+		var srcs []Source
+		for i := 0; i < 5; i++ {
+			if bits&(1<<i) != 0 {
+				srcs = append(srcs, Source{types[i], names[i]})
+			}
+		}
+		return st.OfAll(srcs...)
+	}
+	f := func(x, y uint8) bool {
+		x &= 0x1f
+		y &= 0x1f
+		u := st.Union(mkTag(x), mkTag(y))
+		return u == mkTag(x|y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union is associative for randomly constructed sets.
+func TestUnionAssociativity(t *testing.T) {
+	st := NewStore()
+	rng := rand.New(rand.NewSource(42))
+	randTag := func() Tag {
+		n := rng.Intn(4)
+		var srcs []Source
+		for i := 0; i < n; i++ {
+			srcs = append(srcs, Source{
+				Type: SourceType(1 + rng.Intn(5)),
+				Name: string(rune('a' + rng.Intn(6))),
+			})
+		}
+		return st.OfAll(srcs...)
+	}
+	for i := 0; i < 500; i++ {
+		a, b, c := randTag(), randTag(), randTag()
+		if st.Union(st.Union(a, b), c) != st.Union(a, st.Union(b, c)) {
+			t.Fatalf("associativity failed: %s %s %s",
+				st.String(a), st.String(b), st.String(c))
+		}
+	}
+}
+
+// Property: Sources always returns a sorted, duplicate-free slice.
+func TestCanonicalInvariant(t *testing.T) {
+	st := NewStore()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		n := rng.Intn(6)
+		var srcs []Source
+		for j := 0; j < n; j++ {
+			srcs = append(srcs, Source{
+				Type: SourceType(1 + rng.Intn(5)),
+				Name: string(rune('a' + rng.Intn(4))),
+			})
+		}
+		tag := st.OfAll(srcs...)
+		set := st.Sources(tag)
+		if !sort.SliceIsSorted(set, func(a, b int) bool { return set[a].Less(set[b]) }) {
+			t.Fatalf("set not sorted: %v", set)
+		}
+		for k := 1; k < len(set); k++ {
+			if set[k] == set[k-1] {
+				t.Fatalf("duplicate in set: %v", set)
+			}
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Package vos implements the virtual operating system the HTH
+// simulator runs guests on: processes with isolated address spaces, a
+// round-robin scheduler with a virtual clock, an in-memory filesystem,
+// a simulated network with scriptable remote peers, and a Linux-i386
+// style system-call surface (including the socketcall multiplexer the
+// paper's Harrier tracks, §7.1–§7.2).
+//
+// The OS exposes a Monitor interface: Harrier attaches to a process
+// tree and is notified synchronously before each tracked system call
+// takes effect, exactly once per completed call — the guest is paused
+// until the monitor's verdict arrives (paper §7.1: "Harrier will
+// interrupt the execution of the program and wait until Secpert
+// analysis is done").
+package vos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/image"
+)
+
+// File is one filesystem object: a byte store, optionally backed by a
+// loadable image (executables).
+type File struct {
+	Path  string
+	Data  []byte
+	Image *image.Image // non-nil for executable files
+}
+
+// FS is a flat in-memory filesystem.
+type FS struct {
+	files map[string]*File
+}
+
+// NewFS returns an empty filesystem.
+func NewFS() *FS {
+	return &FS{files: make(map[string]*File)}
+}
+
+// Create adds (or truncates) a plain file with the given contents.
+func (fs *FS) Create(path string, data []byte) *File {
+	f := &File{Path: path, Data: append([]byte(nil), data...)}
+	fs.files[path] = f
+	return f
+}
+
+// Install places an executable image at path.
+func (fs *FS) Install(path string, img *image.Image) *File {
+	f := &File{Path: path, Image: img}
+	fs.files[path] = f
+	return f
+}
+
+// Lookup finds a file by path.
+func (fs *FS) Lookup(path string) (*File, bool) {
+	f, ok := fs.files[path]
+	return f, ok
+}
+
+// Remove deletes a file.
+func (fs *FS) Remove(path string) {
+	delete(fs.files, path)
+}
+
+// Paths returns all file paths in sorted order.
+func (fs *FS) Paths() []string {
+	out := make([]string, 0, len(fs.files))
+	for p := range fs.files {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Listing renders a directory-style listing of every path; the ls
+// corpus program reads this through the "." pseudo-file.
+func (fs *FS) Listing() []byte {
+	var out []byte
+	for _, p := range fs.Paths() {
+		out = append(out, p...)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// Errno values (negated Linux convention: syscalls return -errno).
+const (
+	ENOENT  = 2
+	EBADF   = 9
+	ECHILD  = 10
+	ENOMEM  = 12
+	EACCES  = 13
+	EINVAL  = 22
+	ENFILE  = 23
+	ENOEXEC = 8
+	ECONN   = 111 // ECONNREFUSED
+)
+
+func errno(e uint32) uint32 { return -e }
+
+// open flags, matching the Linux i386 ABI subset the guests use.
+const (
+	ORdOnly = 0x0
+	OWrOnly = 0x1
+	ORdWr   = 0x2
+	OCreat  = 0x40
+	OTrunc  = 0x200
+	OAppend = 0x400
+)
+
+func openErr(path string, e uint32) error {
+	return fmt.Errorf("vos: open %s: errno %d", path, e)
+}

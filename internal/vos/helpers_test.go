@@ -1,0 +1,11 @@
+package vos
+
+import "repro/internal/taint"
+
+func newStore() *taint.Store { return taint.NewStore() }
+
+// closerScript closes the connection the moment it is established.
+type closerScript struct{}
+
+func (closerScript) OnConnect(c *RemoteConn)    { c.Close() }
+func (closerScript) OnData(*RemoteConn, []byte) {}

@@ -1,0 +1,287 @@
+package vos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+	"repro/internal/loader"
+	"repro/internal/taint"
+)
+
+// Scheduler errors.
+var (
+	// ErrDeadlock means every live process is blocked with nothing
+	// that could unblock it.
+	ErrDeadlock = errors.New("vos: deadlock — all processes blocked")
+	// ErrBudget means the run exceeded its instruction budget.
+	ErrBudget = errors.New("vos: instruction budget exhausted")
+)
+
+// Options tune a virtual machine.
+type Options struct {
+	// StepsPerSlice is the scheduler quantum in instructions.
+	StepsPerSlice int
+	// MaxSteps caps total executed instructions across all processes
+	// (a runaway-guest backstop, not a scheduling parameter).
+	MaxSteps uint64
+}
+
+func (o *Options) defaults() {
+	if o.StepsPerSlice == 0 {
+		o.StepsPerSlice = 128
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = 50_000_000
+	}
+}
+
+// OS is one virtual machine: filesystem, network, process table,
+// scheduler and virtual clock (which advances one tick per executed
+// guest instruction).
+type OS struct {
+	FS  *FS
+	Net *Network
+
+	// Natives is the registry of host-implemented library routines
+	// bound by the loader (guestlib populates it).
+	Natives map[string]func(*isa.CPU)
+
+	Clock      uint64
+	TotalSteps uint64
+
+	// Console accumulates all stdout/stderr writes across processes.
+	Console []byte
+
+	procs   map[int]*Process
+	nextPID int
+	opts    Options
+	kern    *kernel
+}
+
+// New creates an empty virtual machine.
+func New(opts Options) *OS {
+	opts.defaults()
+	os := &OS{
+		FS:      NewFS(),
+		Net:     NewNetwork(),
+		Natives: make(map[string]func(*isa.CPU)),
+		procs:   make(map[int]*Process),
+		nextPID: 1,
+		opts:    opts,
+	}
+	os.kern = &kernel{os: os}
+	return os
+}
+
+// Process returns the process with the given pid.
+func (os *OS) Process(pid int) (*Process, bool) {
+	p, ok := os.procs[pid]
+	return p, ok
+}
+
+// Processes returns all processes (including exited) in pid order.
+func (os *OS) Processes() []*Process {
+	pids := make([]int, 0, len(os.procs))
+	for pid := range os.procs {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+	out := make([]*Process, len(pids))
+	for i, pid := range pids {
+		out[i] = os.procs[pid]
+	}
+	return out
+}
+
+// LiveCount returns the number of non-exited processes.
+func (os *OS) LiveCount() int {
+	n := 0
+	for _, p := range os.procs {
+		if p.Alive() {
+			n++
+		}
+	}
+	return n
+}
+
+// loaderEnv builds the loader environment resolving shared objects
+// from the filesystem (shared objects are installed under their soname
+// path, e.g. "libc.so").
+func (os *OS) loaderEnv() *loader.Env {
+	return &loader.Env{
+		Resolve: func(name string) (*image.Image, error) {
+			f, ok := os.FS.Lookup(name)
+			if !ok || f.Image == nil {
+				return nil, fmt.Errorf("vos: shared object %s not found", name)
+			}
+			return f.Image, nil
+		},
+		Natives: os.Natives,
+	}
+}
+
+// ProcSpec describes a process to start.
+type ProcSpec struct {
+	Path  string
+	Argv  []string // argv[0] defaults to Path
+	Env   []string
+	Stdin []byte
+	// Monitor, when set, receives all events for this process and its
+	// descendants; Store must then also be set (the taint store the
+	// monitor tags with).
+	Monitor Monitor
+	Store   *taint.Store
+}
+
+// StartProcess creates a process running the executable at spec.Path.
+func (os *OS) StartProcess(spec ProcSpec) (*Process, error) {
+	f, ok := os.FS.Lookup(spec.Path)
+	if !ok {
+		return nil, fmt.Errorf("vos: %s: no such file", spec.Path)
+	}
+	if f.Image == nil {
+		return nil, fmt.Errorf("vos: %s: not an executable", spec.Path)
+	}
+	argv := spec.Argv
+	if len(argv) == 0 {
+		argv = []string{spec.Path}
+	}
+
+	p := &Process{
+		PID:        os.nextPID,
+		PPID:       0,
+		OS:         os,
+		CPU:        isa.NewCPU(),
+		Images:     loader.NewMap(),
+		FDs:        make(map[int]*FDesc),
+		Path:       spec.Path,
+		Argv:       argv,
+		Env:        spec.Env,
+		StartClock: os.Clock,
+		Monitor:    spec.Monitor,
+		stdin:      spec.Stdin,
+		zombies:    make(map[int]int32),
+	}
+	os.nextPID++
+	p.CPU.Ctx = p
+	p.CPU.Sys = os.kern
+	if spec.Monitor != nil {
+		if spec.Store == nil {
+			return nil, fmt.Errorf("vos: monitored process needs a taint store")
+		}
+		p.CPU.Shadow = taint.NewShadow(spec.Store)
+	}
+	if err := os.loadInto(p, f); err != nil {
+		return nil, err
+	}
+	p.setupStack()
+	p.installStdio()
+	os.procs[p.PID] = p
+	if p.Monitor != nil {
+		p.Monitor.Started(p)
+	}
+	return p, nil
+}
+
+// loadInto loads the executable file (and its imports) into p and
+// points EIP at the entry.
+func (os *OS) loadInto(p *Process, f *File) error {
+	li, err := p.Images.Load(p.CPU, f.Image, os.loaderEnv())
+	if err != nil {
+		return err
+	}
+	entry, err := li.EntryAddr()
+	if err != nil {
+		return err
+	}
+	p.CPU.EIP = entry
+	return nil
+}
+
+// Run schedules processes round-robin until every process has exited,
+// the instruction budget is exhausted, or a deadlock is detected.
+func (os *OS) Run() error {
+	idleRounds := 0
+	for {
+		os.Net.Tick(os.Clock)
+		progressed := false
+		anyAlive := false
+		for _, p := range os.Processes() {
+			switch p.State {
+			case Exited:
+				continue
+			case Blocked:
+				anyAlive = true
+				if !p.blockFn() {
+					continue
+				}
+				p.State = Ready
+				p.blockFn = nil
+				progressed = true
+				if !p.Alive() {
+					// The unblocking action terminated it (kill).
+					continue
+				}
+			default:
+				anyAlive = true
+			}
+			// Run one quantum.
+			for i := 0; i < os.opts.StepsPerSlice && p.State == Ready; i++ {
+				if err := p.CPU.Step(); err != nil {
+					if err == isa.ErrHalted {
+						p.terminate(0, false, nil)
+					} else {
+						p.terminate(-1, false, err)
+					}
+					break
+				}
+				os.Clock++
+				os.TotalSteps++
+				progressed = true
+				if p.CPU.Halted && p.State == Ready {
+					// HLT without exit(): implicit clean exit.
+					p.terminate(0, false, nil)
+				}
+			}
+		}
+		if !anyAlive {
+			return nil
+		}
+		if os.TotalSteps > os.opts.MaxSteps {
+			return ErrBudget
+		}
+		if progressed {
+			idleRounds = 0
+			continue
+		}
+		// Everyone is blocked: advance virtual time so sleepers and
+		// scheduled network events can fire.
+		os.Clock += 1000
+		idleRounds++
+		if idleRounds > 20000 {
+			return ErrDeadlock
+		}
+	}
+}
+
+// SetMaxSteps adjusts the total instruction budget.
+func (os *OS) SetMaxSteps(n uint64) {
+	if n > 0 {
+		os.opts.MaxSteps = n
+	}
+}
+
+// RunFor runs until done or approximately n more instructions execute.
+func (os *OS) RunFor(n uint64) error {
+	saved := os.opts.MaxSteps
+	os.opts.MaxSteps = os.TotalSteps + n
+	err := os.Run()
+	os.opts.MaxSteps = saved
+	if err == ErrBudget {
+		return nil
+	}
+	return err
+}
