@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: check test bench tables
+
+# The full pre-merge gate: vet + build + tests + race-detector pass
+# over the parallel corpus runner.
+check:
+	sh scripts/check.sh
+
+test:
+	$(GO) test ./...
+
+# Reproduce the §9 throughput comparison and write BENCH_<date>.json.
+bench:
+	$(GO) run ./cmd/hth-bench -table perf -json
+
+# Regenerate every evaluation table on a 4-wide scenario pool.
+tables:
+	$(GO) run ./cmd/hth-bench -table all -parallel 4

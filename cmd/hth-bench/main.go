@@ -3,15 +3,23 @@
 // outcome per row, and marks whether the paper-reported result was
 // reproduced.
 //
-//	hth-bench -table 4        # Table 4 (execution flow)
-//	hth-bench -table all      # every table and macro benchmark
-//	hth-bench -table perf     # the §9 performance comparison
+//	hth-bench -table 4            # Table 4 (execution flow)
+//	hth-bench -table all          # every table and macro benchmark
+//	hth-bench -table perf        	# the §9 performance comparison
+//	hth-bench -table all -parallel 4   # sweep scenarios on 4 workers
+//	hth-bench -table perf -json        # also write BENCH_<date>.json
+//
+// Scenario outcomes are independent of -parallel: every scenario runs
+// in a private virtual machine, so a 4-wide sweep reports exactly the
+// detections of a serial one, just sooner.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/corpus"
@@ -19,16 +27,26 @@ import (
 )
 
 func main() {
-	table := flag.String("table", "all", "table to regenerate: 4|5|6|7|8|pwsafe|mw|ttt|perf|all")
+	table := flag.String("table", "all", "table to regenerate: 1|4|5|6|7|8|pwsafe|mw|ttt|perf|all")
+	parallel := flag.Int("parallel", 1, "scenario worker-pool width (0 = GOMAXPROCS)")
+	jsonOut := flag.Bool("json", false, "write perf measurements to BENCH_<date>.json")
 	flag.Parse()
 
 	ids, perf := resolve(*table)
 	failures := 0
 	for _, id := range ids {
-		failures += printTable(id)
+		failures += printTable(id, corpus.RunAll(corpus.ByTable(id), *parallel))
 	}
 	if perf {
-		printPerf()
+		rows := printPerf()
+		if *jsonOut {
+			path := fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+			if err := writeBenchJSON(path, rows); err != nil {
+				fmt.Fprintf(os.Stderr, "hth-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 	}
 	if failures > 0 {
 		fmt.Printf("\n%d row(s) diverged from the paper.\n", failures)
@@ -66,26 +84,32 @@ func resolve(sel string) (ids []string, perf bool) {
 	return nil, false
 }
 
-func printTable(id string) (failures int) {
+func verdictOf(o *corpus.RunOutcome) string {
+	if o.Reproduced() {
+		return "reproduced"
+	}
+	return "DIVERGED: " + o.Problems[0]
+}
+
+func printTable(id string, outs []corpus.RunOutcome) (failures int) {
 	if id == "T1" {
-		return printTable1()
+		return printTable1(outs)
 	}
 	t := &report.Table{
 		Title:  report.Titles[id],
 		Header: []string{"Benchmark", "HTH outcome", "Paper expectation"},
 	}
-	for _, sc := range corpus.ByTable(id) {
-		res, err := sc.Run()
-		if err != nil {
-			t.Add(sc.Row, "ERROR: "+err.Error(), "—")
+	for i := range outs {
+		o := &outs[i]
+		if o.Err != nil {
+			t.Add(o.Scenario.Row, "ERROR: "+o.Err.Error(), "—")
 			failures++
 			continue
 		}
-		verdict := sc.Verdict(res)
-		if verdict != "reproduced" {
+		if !o.Reproduced() {
 			failures++
 		}
-		t.Add(sc.Row, corpus.Outcome(res), verdict)
+		t.Add(o.Scenario.Row, corpus.Outcome(o.Result), verdictOf(o))
 	}
 	fmt.Println(t)
 	return failures
@@ -93,7 +117,7 @@ func printTable(id string) (failures int) {
 
 // printTable1 regenerates the paper's Table 1: the execution-pattern
 // columns derived from HTH's warnings on the §2.1 malware models.
-func printTable1() (failures int) {
+func printTable1(outs []corpus.RunOutcome) (failures int) {
 	t := &report.Table{
 		Title: report.Titles["T1"],
 		Header: []string{"Exploit Name", "No user intervention",
@@ -105,30 +129,48 @@ func printTable1() (failures int) {
 		}
 		return ""
 	}
-	for _, sc := range corpus.ByTable("T1") {
-		res, err := sc.Run()
-		if err != nil {
-			t.Add(sc.Row, "", "", "", "", "ERROR: "+err.Error())
+	for i := range outs {
+		o := &outs[i]
+		if o.Err != nil {
+			t.Add(o.Scenario.Row, "", "", "", "", "ERROR: "+o.Err.Error())
 			failures++
 			continue
 		}
-		verdict := sc.Verdict(res)
-		if verdict != "reproduced" {
+		if !o.Reproduced() {
 			failures++
 		}
-		hard, remote, degrading := corpus.Table1Row(res)
+		hard, remote, degrading := corpus.Table1Row(o.Result)
 		// Every model runs without user direction by construction.
-		t.Add(sc.Row, "x", mark(remote), mark(hard), mark(degrading), verdict)
+		t.Add(o.Scenario.Row, "x", mark(remote), mark(hard), mark(degrading), verdictOf(o))
 	}
 	fmt.Println(t)
 	return failures
 }
 
-func printPerf() {
+// perfRow is one workload×mode measurement, as serialized to the
+// BENCH_<date>.json report.
+type perfRow struct {
+	Workload     string  `json:"workload"`
+	Mode         string  `json:"mode"`
+	GuestInstrs  uint64  `json:"guest_instrs"`
+	WallNS       int64   `json:"wall_ns"`
+	InstrsPerSec float64 `json:"guest_instrs_per_sec"`
+
+	// Taint-store statistics (zero in bare mode): interned source
+	// sets, union operations, union-cache hits, and the subset of hits
+	// served by the direct-mapped fast cache.
+	TaintSets      int    `json:"taint_sets"`
+	TaintUnions    uint64 `json:"taint_unions"`
+	TaintUnionHits uint64 `json:"taint_union_hits"`
+	TaintFastHits  uint64 `json:"taint_fast_hits"`
+}
+
+func printPerf() []perfRow {
 	t := &report.Table{
 		Title:  "Section 9: Performance (virtual-machine throughput per monitoring level)",
 		Header: []string{"Workload", "Mode", "Guest instrs", "Wall time", "Slowdown vs bare"},
 	}
+	var rows []perfRow
 	for _, wl := range corpus.PerfWorkloads() {
 		var bare time.Duration
 		for _, mode := range []corpus.PerfMode{corpus.PerfBare, corpus.PerfNoDataflow, corpus.PerfFull} {
@@ -148,9 +190,47 @@ func printPerf() {
 			}
 			t.Add(wl, mode.String(), fmt.Sprint(res.TotalSteps),
 				elapsed.Round(time.Microsecond).String(), slow)
+			rows = append(rows, perfRow{
+				Workload:       wl,
+				Mode:           mode.String(),
+				GuestInstrs:    res.TotalSteps,
+				WallNS:         elapsed.Nanoseconds(),
+				InstrsPerSec:   float64(res.TotalSteps) / elapsed.Seconds(),
+				TaintSets:      res.Stats.TaintSets,
+				TaintUnions:    res.Stats.TaintUnions,
+				TaintUnionHits: res.Stats.TaintUnionHits,
+				TaintFastHits:  res.Stats.TaintFastHits,
+			})
 		}
 	}
 	fmt.Println(t)
 	fmt.Println("Shape check (paper §9): data-flow tracking dominates the overhead;")
 	fmt.Println("'full' must cost clearly more than 'nodataflow', which costs more than 'bare'.")
+	return rows
+}
+
+// writeBenchJSON writes (or updates) the dated benchmark report. The
+// tool owns the "date", "host" and "perf" keys; any other top-level
+// keys already in the file — e.g. a hand-captured "go_test_bench"
+// section from `go test -bench` — are preserved, so regenerating the
+// perf sweep does not wipe companion measurements.
+func writeBenchJSON(path string, rows []perfRow) error {
+	doc := map[string]any{}
+	if old, err := os.ReadFile(path); err == nil {
+		// Best-effort: an unreadable or invalid existing file is
+		// replaced rather than failing the run.
+		_ = json.Unmarshal(old, &doc)
+	}
+	doc["date"] = time.Now().Format("2006-01-02")
+	doc["host"] = map[string]any{
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+	}
+	doc["perf"] = rows
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

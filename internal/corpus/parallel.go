@@ -1,0 +1,62 @@
+package corpus
+
+import (
+	"runtime"
+	"sync"
+
+	hth "repro"
+)
+
+// RunOutcome is the result of one scenario in a RunAll sweep.
+type RunOutcome struct {
+	Scenario *Scenario
+	Result   *hth.Result
+	Err      error
+	// Problems holds the Check() discrepancies; empty with a nil Err
+	// means the scenario reproduced the paper's row.
+	Problems []string
+}
+
+// Reproduced reports whether the scenario ran and matched expectation.
+func (o *RunOutcome) Reproduced() bool {
+	return o.Err == nil && len(o.Problems) == 0
+}
+
+// RunAll executes the scenarios on a pool of the given width
+// (parallelism <= 0 selects GOMAXPROCS) and returns one outcome per
+// scenario, in input order. Every scenario builds a private
+// hth.System, and the shared registry is read-only, so concurrent
+// runs share no mutable state: a sweep's outcomes are identical at
+// any parallelism, including 1.
+func RunAll(scenarios []*Scenario, parallelism int) []RunOutcome {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(scenarios) {
+		parallelism = len(scenarios)
+	}
+	out := make([]RunOutcome, len(scenarios))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				sc := scenarios[i]
+				o := RunOutcome{Scenario: sc}
+				o.Result, o.Err = sc.Run()
+				if o.Err == nil {
+					o.Problems = sc.Check(o.Result)
+				}
+				out[i] = o
+			}
+		}()
+	}
+	for i := range scenarios {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	return out
+}

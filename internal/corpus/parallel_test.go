@@ -1,0 +1,68 @@
+package corpus
+
+import (
+	"fmt"
+	"testing"
+)
+
+// sweepSignature reduces a sweep to the observable detection behaviour
+// of every scenario: warning count, per-severity counts, executed
+// steps, and the reproduction verdict.
+func sweepSignature(outs []RunOutcome) []string {
+	sig := make([]string, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			sig[i] = fmt.Sprintf("%s: error %v", o.Scenario.Name, o.Err)
+			continue
+		}
+		sig[i] = fmt.Sprintf("%s: steps=%d outcome=%q problems=%d",
+			o.Scenario.Name, o.Result.TotalSteps, Outcome(o.Result), len(o.Problems))
+	}
+	return sig
+}
+
+// TestParallelMatchesSerial runs the whole corpus at parallelism 1 and
+// 4 and requires bit-identical detection behaviour: every scenario owns
+// its System, so scheduling must not influence outcomes.
+func TestParallelMatchesSerial(t *testing.T) {
+	scs := All()
+	if len(scs) == 0 {
+		t.Fatal("empty corpus")
+	}
+	serial := sweepSignature(RunAll(scs, 1))
+	par := sweepSignature(RunAll(scs, 4))
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Errorf("parallel sweep diverged:\n  serial: %s\n  par-4:  %s", serial[i], par[i])
+		}
+	}
+}
+
+// TestParallelOrderAndOwnership checks outcomes come back in input
+// order regardless of completion order, and that a wider pool than the
+// input is harmless.
+func TestParallelOrderAndOwnership(t *testing.T) {
+	scs := All()[:3]
+	outs := RunAll(scs, 64)
+	if len(outs) != len(scs) {
+		t.Fatalf("got %d outcomes for %d scenarios", len(outs), len(scs))
+	}
+	for i, o := range outs {
+		if o.Scenario != scs[i] {
+			t.Errorf("outcome %d belongs to %q, want %q", i, o.Scenario.Name, scs[i].Name)
+		}
+		if o.Err == nil && o.Result == nil {
+			t.Errorf("outcome %d has neither result nor error", i)
+		}
+	}
+}
+
+// TestParallelZeroSelectsGOMAXPROCS just exercises the default width.
+func TestParallelZeroSelectsGOMAXPROCS(t *testing.T) {
+	outs := RunAll(All()[:2], 0)
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Errorf("%s: %v", o.Scenario.Name, o.Err)
+		}
+	}
+}

@@ -60,13 +60,29 @@ type bbKey struct {
 	addr  uint32
 }
 
+// bbCacheSize is the width of the direct-mapped block-counter cache;
+// a power of two so the leader index masks down without a division.
+const bbCacheSize = 256
+
+type bbCacheEnt struct {
+	key bbKey
+	ctr *int64
+}
+
 // Stats counts Harrier's instrumentation work, for the §9 performance
-// evaluation.
+// evaluation. The Taint* fields snapshot the taint store's interning
+// statistics at the time Stats() is called, so benchmark harnesses can
+// track the fast-path caches across PRs.
 type Stats struct {
 	Instructions uint64 // instructions instrumented for data flow
 	Blocks       uint64 // basic-block entries counted
 	AccessEvents uint64 // resource-access events sent to Secpert
 	IOEvents     uint64 // I/O events sent to Secpert
+
+	TaintSets      int    // distinct source sets interned
+	TaintUnions    uint64 // union operations performed
+	TaintUnionHits uint64 // union cache hits (direct-mapped + map)
+	TaintFastHits  uint64 // union hits served by the direct-mapped cache
 }
 
 // Harrier is one monitor instance, observing one process tree and
@@ -79,8 +95,29 @@ type Harrier struct {
 	binTags map[string]taint.Tag
 	hwTag   taint.Tag
 
-	bbFreq  map[bbKey]int64
+	// One-entry binTag cache: trackDataFlow resolves the BINARY tag of
+	// the executing image on every immediate operand, and execution
+	// stays within one image for long stretches. Image strings come
+	// from Span.Image, so the == compare is a pointer check in the
+	// common case.
+	binCacheImage string
+	binCacheTag   taint.Tag
+
+	bbFreq  map[bbKey]*int64
 	lastApp map[int]bbKey // pid -> last application BB
+
+	// Hot-path caches for collectBBFrequency: a direct-mapped cache of
+	// block counters indexed by leader address (bbFreq never deletes,
+	// so cached *int64 pointers stay valid for the run), and a
+	// write-behind entry for the lastApp map. appCachePID/appCacheKey
+	// hold the freshest attribution for the most recently scheduled
+	// process; the map is only written when the running PID changes
+	// (flushApp), so straight-line execution never touches it.
+	// appCachePID is -1 when the cache is empty. Readers must check
+	// the cache before the map.
+	bbCache     [bbCacheSize]bbCacheEnt
+	appCachePID int
+	appCacheKey bbKey
 
 	cloneCount int64
 	cloneTimes []uint64
@@ -101,35 +138,49 @@ var _ vos.Monitor = (*Harrier)(nil)
 func New(cfg Config, sec *secpert.Secpert) *Harrier {
 	st := taint.NewStore()
 	return &Harrier{
-		Store:   st,
-		cfg:     cfg,
-		sec:     sec,
-		binTags: make(map[string]taint.Tag),
-		hwTag:   st.Of(taint.Source{Type: taint.Hardware, Name: "cpuid"}),
-		bbFreq:  make(map[bbKey]int64),
-		lastApp: make(map[int]bbKey),
-		natSave: make(map[int]taint.Tag),
+		Store:       st,
+		cfg:         cfg,
+		sec:         sec,
+		binTags:     make(map[string]taint.Tag),
+		hwTag:       st.Of(taint.Source{Type: taint.Hardware, Name: "cpuid"}),
+		bbFreq:      make(map[bbKey]*int64),
+		lastApp:     make(map[int]bbKey),
+		natSave:     make(map[int]taint.Tag),
+		appCachePID: -1,
 	}
 }
 
 // Secpert returns the attached expert system.
 func (h *Harrier) Secpert() *secpert.Secpert { return h.sec }
 
-// Stats returns instrumentation counters.
-func (h *Harrier) Stats() Stats { return h.stats }
+// Stats returns instrumentation counters, including a snapshot of the
+// taint store's interning statistics.
+func (h *Harrier) Stats() Stats {
+	out := h.stats
+	out.TaintSets, out.TaintUnions, out.TaintUnionHits = h.Store.Stats()
+	out.TaintFastHits = h.Store.FastHits()
+	return out
+}
 
 // BBFrequency returns the execution count of the block at addr in the
 // named image.
 func (h *Harrier) BBFrequency(image string, addr uint32) int64 {
-	return h.bbFreq[bbKey{image, addr}]
+	if ctr := h.bbFreq[bbKey{image, addr}]; ctr != nil {
+		return *ctr
+	}
+	return 0
 }
 
 func (h *Harrier) binTag(image string) taint.Tag {
+	if image == h.binCacheImage && image != "" {
+		return h.binCacheTag
+	}
 	t, ok := h.binTags[image]
 	if !ok {
 		t = h.Store.Of(taint.Source{Type: taint.Binary, Name: image})
 		h.binTags[image] = t
 	}
+	h.binCacheImage, h.binCacheTag = image, t
 	return t
 }
 
@@ -138,6 +189,7 @@ func (h *Harrier) Started(p *vos.Process) {
 	hooks := isa.Hooks{}
 	if h.cfg.Dataflow {
 		hooks.OnInstr = h.trackDataFlow
+		hooks.OnInstrData = true
 		hooks.OnNativePre = h.nativePre
 		hooks.OnNativePost = h.nativePost
 	}
@@ -148,47 +200,99 @@ func (h *Harrier) Started(p *vos.Process) {
 }
 
 // Forked: the child inherits the parent's hooks via CPU.Clone; only
-// bookkeeping is needed.
+// bookkeeping is needed. Clone-rate attribution (cloneCount,
+// cloneTimes) is deliberately tree-global, not per-PID (paper §4.2
+// measures the process tree), so fork copies only the last-app-BB
+// attribution.
 func (h *Harrier) Forked(parent, child *vos.Process) {
-	if bb, ok := h.lastApp[parent.PID]; ok {
+	if bb, ok := h.lastAppOf(parent.PID); ok {
 		h.lastApp[child.PID] = bb
 	}
 }
 
 // Execed resets per-program attribution state: the process is now a
-// different program.
+// different program. Any native-routine tag captured before the exec
+// is stale and dropped with it.
 func (h *Harrier) Execed(p *vos.Process) {
-	delete(h.lastApp, p.PID)
+	h.dropPID(p.PID)
 }
 
 // Exited drops per-process state.
 func (h *Harrier) Exited(p *vos.Process) {
-	delete(h.lastApp, p.PID)
-	delete(h.natSave, p.PID)
+	h.dropPID(p.PID)
+}
+
+// dropPID removes every piece of per-PID state Harrier keeps, and
+// invalidates the attribution cache if it points at that PID. Keeping
+// all PID-keyed maps behind one helper is what guarantees no state
+// leaks across a forking guest's lifetime (see TestExitedDropsPIDState).
+func (h *Harrier) dropPID(pid int) {
+	delete(h.lastApp, pid)
+	delete(h.natSave, pid)
+	if h.appCachePID == pid {
+		h.appCachePID = -1
+	}
 }
 
 // collectBBFrequency is the Collect_BB_Frequency analysis of paper
 // Figure 5: count the block and remember the last *application* block
 // so that events raised inside shared objects are attributed to the
 // application code that initiated the call path (Figure 3).
+//
+// Two caches keep the hot path off the maps: a direct-mapped counter
+// cache indexed by leader address absorbs loops that bounce between a
+// handful of blocks (bbCache), and the last-app attribution only
+// needs a map write when it changes (appCache*).
 func (h *Harrier) collectBBFrequency(c *isa.CPU, s *isa.Span, leader int) {
 	h.stats.Blocks++
 	p := c.Ctx.(*vos.Process)
 	key := bbKey{s.Image, s.Addr(leader)}
-	h.bbFreq[key]++
-	if s.Image == p.Path {
-		h.lastApp[p.PID] = key
+	e := &h.bbCache[(key.addr/isa.InstrSize)&(bbCacheSize-1)]
+	ctr := e.ctr
+	if ctr == nil || e.key != key {
+		ctr = h.bbFreq[key]
+		if ctr == nil {
+			ctr = new(int64)
+			h.bbFreq[key] = ctr
+		}
+		e.key, e.ctr = key, ctr
 	}
+	*ctr++
+	if s.Image == p.Path {
+		if p.PID != h.appCachePID {
+			h.flushApp()
+			h.appCachePID = p.PID
+		}
+		h.appCacheKey = key
+	}
+}
+
+// flushApp spills the write-behind lastApp entry into the map; called
+// before the cache is repointed at another PID.
+func (h *Harrier) flushApp() {
+	if h.appCachePID >= 0 {
+		h.lastApp[h.appCachePID] = h.appCacheKey
+	}
+}
+
+// lastAppOf returns the last application BB recorded for pid,
+// consulting the write-behind cache first.
+func (h *Harrier) lastAppOf(pid int) (bbKey, bool) {
+	if pid == h.appCachePID {
+		return h.appCacheKey, true
+	}
+	bb, ok := h.lastApp[pid]
+	return bb, ok
 }
 
 // context returns the (frequency, address) attribution for an event
 // raised by process p: the last application basic block.
 func (h *Harrier) context(p *vos.Process) (int64, string) {
-	bb, ok := h.lastApp[p.PID]
+	bb, ok := h.lastAppOf(p.PID)
 	if !ok {
 		return 0, ""
 	}
-	return h.bbFreq[bb], fmt.Sprintf("%x", bb.addr)
+	return h.BBFrequency(bb.image, bb.addr), fmt.Sprintf("%x", bb.addr)
 }
 
 // sourcesAt reads the source set of a guest memory range.

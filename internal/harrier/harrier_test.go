@@ -7,6 +7,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/guestlib"
 	"repro/internal/secpert"
+	"repro/internal/taint"
 	"repro/internal/vos"
 )
 
@@ -771,5 +772,62 @@ argv: .space 12
 	p := w.run(t, vos.ProcSpec{Path: "/bin/prog"})
 	if got := string(p.Stdout); got != "HELLO" {
 		t.Errorf("stdout = %q", got)
+	}
+}
+
+// TestExitedDropsPIDState proves no per-PID state leaks across a
+// heavily forking guest: a parent issues 1000 forks whose children
+// exit immediately (each child calls gethostbyname-free code, so the
+// only per-PID maps in play are lastApp and natSave, both copied or
+// created via the fork path). After the tree has exited, every
+// PID-keyed map must be empty.
+func TestExitedDropsPIDState(t *testing.T) {
+	w := newWorld(t)
+	w.install(t, "/bin/forkstorm", `
+.text
+_start:
+    mov esi, 1000       ; forks to issue
+loop:
+    mov eax, 2          ; SYS_fork
+    int 0x80
+    cmp eax, 0
+    jz child
+    dec esi
+    cmp esi, 0
+    jnz loop
+    mov ebx, 0
+    mov eax, 1          ; SYS_exit
+    int 0x80
+child:
+    mov ebx, 0
+    mov eax, 1          ; SYS_exit
+    int 0x80
+`)
+	w.run(t, vos.ProcSpec{Path: "/bin/forkstorm"})
+	if n := len(w.h.lastApp); n != 0 {
+		t.Errorf("lastApp leaked %d entries after all PIDs exited", n)
+	}
+	if n := len(w.h.natSave); n != 0 {
+		t.Errorf("natSave leaked %d entries after all PIDs exited", n)
+	}
+	if w.h.appCachePID != -1 {
+		t.Errorf("appCache still points at PID %d after exit", w.h.appCachePID)
+	}
+}
+
+// TestExecClearsNatSave asserts the bookkeeping consistency fix: a
+// native-routine tag captured before execve must not survive into the
+// new program image.
+func TestExecClearsNatSave(t *testing.T) {
+	w := newWorld(t)
+	h := w.h
+	h.natSave[1] = h.Store.Of(taint.Source{Type: taint.Socket, Name: "stale"})
+	h.lastApp[1] = bbKey{image: "/bin/old", addr: 0x1000}
+	h.Execed(&vos.Process{PID: 1})
+	if _, ok := h.natSave[1]; ok {
+		t.Error("natSave survived execve")
+	}
+	if _, ok := h.lastApp[1]; ok {
+		t.Error("lastApp survived execve")
 	}
 }

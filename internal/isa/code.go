@@ -23,7 +23,18 @@ type Span struct {
 	// BBLeader[i] is the instruction index of the basic-block leader
 	// of instruction i; computed by AnalyzeBlocks.
 	BBLeader []int
+
+	// meta[i] packs the per-instruction dispatch bits the fetch loop
+	// consults every cycle, so one byte load replaces a leader-slice
+	// lookup and an opcode-table lookup on the hot path.
+	meta []uint8
 }
+
+// Span meta bits.
+const (
+	metaLeader = 1 << 0 // instruction leads its basic block
+	metaData   = 1 << 1 // opcode moves data (Op.MovesData)
+)
 
 // NewSpan builds a span and computes its basic-block structure.
 func NewSpan(base uint32, image string, instrs []Instr, symbols map[int]string) *Span {
@@ -59,6 +70,7 @@ func (s *Span) analyzeBlocks() {
 	leader := make([]bool, n)
 	if n == 0 {
 		s.BBLeader = nil
+		s.meta = nil
 		return
 	}
 	leader[0] = true
@@ -81,12 +93,17 @@ func (s *Span) analyzeBlocks() {
 		}
 	}
 	s.BBLeader = make([]int, n)
+	s.meta = make([]uint8, n)
 	cur := 0
 	for i := 0; i < n; i++ {
 		if leader[i] {
 			cur = i
+			s.meta[i] |= metaLeader
 		}
 		s.BBLeader[i] = cur
+		if s.Instrs[i].Op.MovesData() {
+			s.meta[i] |= metaData
+		}
 	}
 }
 

@@ -44,6 +44,12 @@ type Hooks struct {
 	// OnInstr runs before every instruction executes. Harrier's
 	// Track_DataFlow analysis is installed here (paper Figure 5).
 	OnInstr func(c *CPU, s *Span, idx int)
+	// OnInstrData, when set, restricts OnInstr to data-moving
+	// instructions (Op.MovesData): the fetch loop skips the callback
+	// entirely for compares and control transfers, which Harrier's
+	// dataflow analysis ignores (implicit flows are out of scope).
+	// Leave false to run OnInstr before every instruction.
+	OnInstrData bool
 	// OnBB runs once per dynamic basic-block entry, before the leader
 	// instruction. Harrier's Collect_BB_Frequency lives here.
 	OnBB func(c *CPU, s *Span, leaderIdx int)
@@ -82,6 +88,16 @@ type CPU struct {
 	Halted     bool
 	jumped     bool // last instruction transferred control
 	pcOverride *uint32
+
+	// Sequential-fetch cursor: when the previous instruction fell
+	// through, the next one is curSpan.Instrs[curIdx] and the CodeMap
+	// lookup is skipped entirely. curOK gates validity — invalidated
+	// by any control transfer, PC override, or externally assigned
+	// EIP. curSpan itself is left in place when the cursor goes
+	// invalid (clearing it would pay a GC write barrier per jump).
+	curSpan *Span
+	curIdx  int
+	curOK   bool
 }
 
 // NewCPU returns a CPU with fresh memory and code map; callers supply
@@ -95,6 +111,7 @@ func NewCPU() *CPU {
 func (c *CPU) SetPC(addr uint32) {
 	a := addr
 	c.pcOverride = &a
+	c.curOK = false
 }
 
 // Halt stops the CPU; subsequent Step calls return ErrHalted.
@@ -103,7 +120,7 @@ func (c *CPU) Halt() { c.Halted = true }
 // EffectiveAddr computes the guest address a memory operand refers to.
 // It is exported for the instrumentation layer, which must resolve
 // addresses before the instruction executes.
-func (c *CPU) EffectiveAddr(op Operand) uint32 {
+func (c *CPU) EffectiveAddr(op *Operand) uint32 {
 	ea := op.Imm
 	if op.HasBase {
 		ea += c.Regs[op.Reg]
@@ -111,8 +128,17 @@ func (c *CPU) EffectiveAddr(op Operand) uint32 {
 	return ea
 }
 
+// fault builds an execution fault at the current PC. Kept out of line
+// so the operand accessors stay under the inlining budget; the paths
+// that reach it are unreachable for assembler-produced code.
+//
+//go:noinline
+func (c *CPU) fault(reason string) error {
+	return &Fault{PC: c.EIP, Reason: reason}
+}
+
 // ReadOperand returns the 32-bit value an operand denotes.
-func (c *CPU) ReadOperand(op Operand) (uint32, error) {
+func (c *CPU) ReadOperand(op *Operand) (uint32, error) {
 	switch op.Kind {
 	case RegOperand:
 		return c.Regs[op.Reg], nil
@@ -121,10 +147,10 @@ func (c *CPU) ReadOperand(op Operand) (uint32, error) {
 	case MemOperand:
 		return c.Mem.Load32(c.EffectiveAddr(op)), nil
 	}
-	return 0, &Fault{PC: c.EIP, Reason: "read of empty operand"}
+	return 0, c.fault("read of empty operand")
 }
 
-func (c *CPU) readOperand8(op Operand) (uint32, error) {
+func (c *CPU) readOperand8(op *Operand) (uint32, error) {
 	switch op.Kind {
 	case RegOperand:
 		return c.Regs[op.Reg] & 0xFF, nil
@@ -133,10 +159,10 @@ func (c *CPU) readOperand8(op Operand) (uint32, error) {
 	case MemOperand:
 		return uint32(c.Mem.Load8(c.EffectiveAddr(op))), nil
 	}
-	return 0, &Fault{PC: c.EIP, Reason: "read of empty operand"}
+	return 0, c.fault("read of empty operand")
 }
 
-func (c *CPU) writeOperand(op Operand, v uint32) error {
+func (c *CPU) writeOperand(op *Operand, v uint32) error {
 	switch op.Kind {
 	case RegOperand:
 		c.Regs[op.Reg] = v
@@ -145,10 +171,10 @@ func (c *CPU) writeOperand(op Operand, v uint32) error {
 		c.Mem.Store32(c.EffectiveAddr(op), v)
 		return nil
 	}
-	return &Fault{PC: c.EIP, Reason: "write to non-writable operand"}
+	return c.fault("write to non-writable operand")
 }
 
-func (c *CPU) writeOperand8(op Operand, v uint32) error {
+func (c *CPU) writeOperand8(op *Operand, v uint32) error {
 	switch op.Kind {
 	case RegOperand:
 		c.Regs[op.Reg] = (c.Regs[op.Reg] &^ 0xFF) | (v & 0xFF)
@@ -157,7 +183,7 @@ func (c *CPU) writeOperand8(op Operand, v uint32) error {
 		c.Mem.Store8(c.EffectiveAddr(op), byte(v))
 		return nil
 	}
-	return &Fault{PC: c.EIP, Reason: "byte write to non-writable operand"}
+	return c.fault("byte write to non-writable operand")
 }
 
 func (c *CPU) setFlags(v uint32) {
@@ -166,7 +192,7 @@ func (c *CPU) setFlags(v uint32) {
 }
 
 // branchTarget resolves the target of a control-transfer operand.
-func (c *CPU) branchTarget(op Operand) (uint32, error) {
+func (c *CPU) branchTarget(op *Operand) (uint32, error) {
 	switch op.Kind {
 	case ImmOperand:
 		return op.Imm, nil
@@ -175,7 +201,7 @@ func (c *CPU) branchTarget(op Operand) (uint32, error) {
 	case MemOperand:
 		return c.Mem.Load32(c.EffectiveAddr(op)), nil
 	}
-	return 0, &Fault{PC: c.EIP, Reason: "branch with empty target"}
+	return 0, c.fault("branch with empty target")
 }
 
 func (c *CPU) push(v uint32) {
@@ -194,19 +220,27 @@ func (c *CPU) Step() error {
 	if c.Halted {
 		return ErrHalted
 	}
-	span, idx, ok := c.Code.Find(c.EIP)
-	if !ok {
-		c.Halted = true
-		return &Fault{PC: c.EIP, Reason: "fetch from unmapped code"}
+	var span *Span
+	var idx int
+	if c.curOK {
+		span, idx = c.curSpan, c.curIdx
+	} else {
+		var ok bool
+		span, idx, ok = c.Code.Find(c.EIP)
+		if !ok {
+			c.Halted = true
+			return &Fault{PC: c.EIP, Reason: "fetch from unmapped code"}
+		}
 	}
 	in := &span.Instrs[idx]
+	m := span.meta[idx]
 
 	// Basic-block entry: the instruction is its block's leader, or
 	// control arrived here non-sequentially (paper §7.4).
-	if c.Hooks.OnBB != nil && (span.BBLeader[idx] == idx || c.jumped) {
+	if c.Hooks.OnBB != nil && (m&metaLeader != 0 || c.jumped) {
 		c.Hooks.OnBB(c, span, span.BBLeader[idx])
 	}
-	if c.Hooks.OnInstr != nil {
+	if c.Hooks.OnInstr != nil && (m&metaData != 0 || !c.Hooks.OnInstrData) {
 		c.Hooks.OnInstr(c, span, idx)
 	}
 
@@ -228,27 +262,27 @@ func (c *CPU) Step() error {
 
 	case MOV:
 		var v uint32
-		if v, err = c.ReadOperand(in.B); err == nil {
-			err = c.writeOperand(in.A, v)
+		if v, err = c.ReadOperand(&in.B); err == nil {
+			err = c.writeOperand(&in.A, v)
 		}
 	case MOVB:
 		var v uint32
-		if v, err = c.readOperand8(in.B); err == nil {
-			err = c.writeOperand8(in.A, v)
+		if v, err = c.readOperand8(&in.B); err == nil {
+			err = c.writeOperand8(&in.A, v)
 		}
 	case LEA:
 		if in.B.Kind != MemOperand {
 			err = &Fault{PC: c.EIP, Reason: "lea requires memory source"}
 			break
 		}
-		err = c.writeOperand(in.A, c.EffectiveAddr(in.B))
+		err = c.writeOperand(&in.A, c.EffectiveAddr(&in.B))
 
 	case ADD, SUB, AND, OR, XOR, MUL, DIVOP, MODOP, SHL, SHR:
 		var a, b uint32
-		if a, err = c.ReadOperand(in.A); err != nil {
+		if a, err = c.ReadOperand(&in.A); err != nil {
 			break
 		}
-		if b, err = c.ReadOperand(in.B); err != nil {
+		if b, err = c.ReadOperand(&in.B); err != nil {
 			break
 		}
 		var r uint32
@@ -284,12 +318,12 @@ func (c *CPU) Step() error {
 		}
 		if err == nil {
 			c.setFlags(r)
-			err = c.writeOperand(in.A, r)
+			err = c.writeOperand(&in.A, r)
 		}
 
 	case NOT, NEG, INC, DEC:
 		var a uint32
-		if a, err = c.ReadOperand(in.A); err != nil {
+		if a, err = c.ReadOperand(&in.A); err != nil {
 			break
 		}
 		var r uint32
@@ -304,39 +338,39 @@ func (c *CPU) Step() error {
 			r = a - 1
 		}
 		c.setFlags(r)
-		err = c.writeOperand(in.A, r)
+		err = c.writeOperand(&in.A, r)
 
 	case CMP:
 		var a, b uint32
-		if a, err = c.ReadOperand(in.A); err != nil {
+		if a, err = c.ReadOperand(&in.A); err != nil {
 			break
 		}
-		if b, err = c.ReadOperand(in.B); err != nil {
+		if b, err = c.ReadOperand(&in.B); err != nil {
 			break
 		}
 		c.ZF = a == b
 		c.LT = int32(a) < int32(b)
 	case TEST:
 		var a, b uint32
-		if a, err = c.ReadOperand(in.A); err != nil {
+		if a, err = c.ReadOperand(&in.A); err != nil {
 			break
 		}
-		if b, err = c.ReadOperand(in.B); err != nil {
+		if b, err = c.ReadOperand(&in.B); err != nil {
 			break
 		}
 		c.setFlags(a & b)
 
 	case PUSH:
 		var v uint32
-		if v, err = c.ReadOperand(in.A); err == nil {
+		if v, err = c.ReadOperand(&in.A); err == nil {
 			c.push(v)
 		}
 	case POP:
-		err = c.writeOperand(in.A, c.pop())
+		err = c.writeOperand(&in.A, c.pop())
 
 	case JMP:
 		var t uint32
-		if t, err = c.branchTarget(in.A); err == nil {
+		if t, err = c.branchTarget(&in.A); err == nil {
 			jump(t)
 		}
 	case JZ, JNZ, JL, JLE, JG, JGE:
@@ -361,13 +395,13 @@ func (c *CPU) Step() error {
 		c.jumped = true
 		if taken {
 			var t uint32
-			if t, err = c.branchTarget(in.A); err == nil {
+			if t, err = c.branchTarget(&in.A); err == nil {
 				jump(t)
 			}
 		}
 	case CALL:
 		var t uint32
-		if t, err = c.branchTarget(in.A); err == nil {
+		if t, err = c.branchTarget(&in.A); err == nil {
 			c.push(c.EIP + InstrSize)
 			jump(t)
 		}
@@ -419,6 +453,7 @@ func (c *CPU) Step() error {
 
 	if err != nil {
 		c.Halted = true
+		c.curOK = false
 		return err
 	}
 	if c.pcOverride != nil {
@@ -428,7 +463,17 @@ func (c *CPU) Step() error {
 	}
 	if c.Halted {
 		// A syscall handler halted the process (exit / kill).
+		c.curOK = false
 		return nil
+	}
+	// Only touch the pointer field when it actually changes: a pointer
+	// store pays the GC write barrier, and in straight-line code the
+	// cached span is already the current one.
+	if c.curOK = !c.jumped && idx+1 < len(span.Instrs); c.curOK {
+		if c.curSpan != span {
+			c.curSpan = span
+		}
+		c.curIdx = idx + 1
 	}
 	c.EIP = next
 	return nil

@@ -108,3 +108,90 @@ func TestMemoryModelProperty(t *testing.T) {
 		}
 	}
 }
+
+// --- Fast-path coverage: word accesses, page straddles, TLB ---
+
+func TestMemoryWordStraddlesPage(t *testing.T) {
+	m := NewMemory()
+	// 2 bytes on each side of the 0x1000 page boundary.
+	m.Store32(0xFFE, 0xAABBCCDD)
+	if got := m.Load32(0xFFE); got != 0xAABBCCDD {
+		t.Fatalf("straddling word = %#x", got)
+	}
+	if m.Load8(0xFFE) != 0xDD || m.Load8(0xFFF) != 0xCC ||
+		m.Load8(0x1000) != 0xBB || m.Load8(0x1001) != 0xAA {
+		t.Fatal("straddling bytes wrong (endianness)")
+	}
+	if m.Pages() != 2 {
+		t.Fatalf("pages = %d, want 2", m.Pages())
+	}
+}
+
+func TestMemoryUnalignedWithinPage(t *testing.T) {
+	m := NewMemory()
+	m.Store32(0x2001, 0x11223344)
+	if got := m.Load32(0x2001); got != 0x11223344 {
+		t.Fatalf("unaligned word = %#x", got)
+	}
+	// Byte view must agree with the little-endian layout.
+	if m.Load8(0x2001) != 0x44 || m.Load8(0x2004) != 0x11 {
+		t.Fatal("unaligned byte view wrong")
+	}
+}
+
+func TestMemoryLoadFromUnmappedIsZero(t *testing.T) {
+	m := NewMemory()
+	if m.Load32(0x5000) != 0 || m.Load32(0x5FFE) != 0 {
+		t.Fatal("unmapped load != 0")
+	}
+	if m.Pages() != 0 {
+		t.Fatal("load allocated a page")
+	}
+}
+
+func TestMemoryReadWriteBytesAcrossPages(t *testing.T) {
+	m := NewMemory()
+	data := make([]byte, 3*memPageSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	m.WriteBytes(0xFF0, data)
+	got := m.ReadBytes(0xFF0, uint32(len(data)))
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("byte %d = %#x, want %#x", i, got[i], data[i])
+		}
+	}
+	// A hole in the middle reads as zero.
+	if b := m.ReadBytes(0x100000, 8); b[0] != 0 || b[7] != 0 {
+		t.Fatal("unmapped ReadBytes != 0")
+	}
+}
+
+func TestMemoryCloneColdTLBIsolated(t *testing.T) {
+	m := NewMemory()
+	m.Store32(0x3000, 0xCAFE)
+	_ = m.Load32(0x3000) // warm the TLB
+	cl := m.Clone()
+	cl.Store32(0x3000, 0xBEEF)
+	if m.Load32(0x3000) != 0xCAFE {
+		t.Fatal("clone write leaked into parent")
+	}
+	m.Store32(0x3000, 0x1234)
+	if cl.Load32(0x3000) != 0xBEEF {
+		t.Fatal("parent write leaked into clone")
+	}
+}
+
+func TestMemoryResetInvalidatesTLB(t *testing.T) {
+	m := NewMemory()
+	m.Store32(0x4000, 0xFEED)
+	_ = m.Load32(0x4000) // warm the TLB
+	m.Reset()
+	if m.Load32(0x4000) != 0 {
+		t.Fatal("read-after-Reset saw stale TLB page")
+	}
+	if m.Pages() != 0 {
+		t.Fatal("Reset left pages")
+	}
+}

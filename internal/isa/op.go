@@ -109,6 +109,23 @@ const (
 	numOps
 )
 
+// movesData marks the opcodes that move values between registers and
+// memory. Compares, branches, NOP/HLT/INT and NATIVE only affect flags
+// or control; instruction-level dataflow monitors act exactly on the
+// marked set (see Hooks.OnInstrData).
+var movesData = [numOps]bool{
+	MOV: true, MOVB: true, LEA: true,
+	ADD: true, SUB: true, AND: true, OR: true, XOR: true,
+	MUL: true, DIVOP: true, MODOP: true, SHL: true, SHR: true,
+	NOT: true, NEG: true, INC: true, DEC: true,
+	PUSH: true, POP: true, CALL: true,
+	CPUID: true, RDTSC: true,
+}
+
+// MovesData reports whether the opcode moves data, as opposed to only
+// affecting flags or control.
+func (o Op) MovesData() bool { return o < numOps && movesData[o] }
+
 var opNames = [numOps]string{
 	NOP: "nop", HLT: "hlt",
 	MOV: "mov", MOVB: "movb", LEA: "lea",

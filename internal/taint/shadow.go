@@ -1,23 +1,88 @@
 package taint
 
-// Shadow is a sparse per-byte tag map mirroring a guest address space.
-// Pages are allocated on first tainted write; reading an unallocated
-// page yields Empty. This matches Harrier's design where the data
+// Shadow is a sparse tag map mirroring a guest address space. Pages
+// are allocated on first tainted write; reading an unallocated page
+// yields Empty. This matches Harrier's design where the data
 // structures tracking taint grow with the footprint of tainted data
 // (paper §7.3.1, §9).
+//
+// Representation (the §9 fast path): a page starts in *word mode*,
+// one Tag per aligned 32-bit word, so the dominant accesses — aligned
+// GetWord/SetWord from 32-bit loads and stores — are a single page
+// lookup plus one array index. Word mode maintains the invariant that
+// all four bytes of a word carry the word's tag. The first write that
+// would break that invariant (a MOVB with a differing tag, an
+// unaligned store) degrades the page to *byte mode*, which keeps a
+// full per-byte tag array and stays byte-granular for the page's
+// lifetime. Reads never degrade a page. The two representations are
+// observationally identical; see DESIGN.md "Shadow memory fast
+// paths".
+//
+// A single-entry page cache (a software TLB) short-circuits the page
+// map for the overwhelmingly local access streams the benchmarks
+// show; it is invalidated whenever the page table is replaced
+// (Reset) and never shared with Clones.
 type Shadow struct {
 	store *Store
 	pages map[uint32]*shadowPage
+
+	// Software TLB: the last page hit. tlbPage == nil means empty.
+	tlbIdx  uint32
+	tlbPage *shadowPage
 }
 
 const (
 	pageShift = 12
 	pageSize  = 1 << pageShift
 	pageMask  = pageSize - 1
+	pageWords = pageSize / 4
 )
 
+// shadowPage holds the tags of one 4 KiB page. words is authoritative
+// while bytes == nil (word mode); after degrade() the bytes array is
+// authoritative and words is dead.
 type shadowPage struct {
-	tags [pageSize]Tag
+	words [pageWords]Tag
+	bytes *[pageSize]Tag
+}
+
+// degrade switches the page to byte mode, expanding each word tag to
+// its four bytes. Idempotent.
+func (p *shadowPage) degrade() {
+	if p.bytes != nil {
+		return
+	}
+	b := new([pageSize]Tag)
+	for w, t := range p.words {
+		if t == Empty {
+			continue
+		}
+		o := w << 2
+		b[o], b[o+1], b[o+2], b[o+3] = t, t, t, t
+	}
+	p.bytes = b
+}
+
+// getByte returns the tag of the byte at page offset off.
+func (p *shadowPage) getByte(off uint32) Tag {
+	if p.bytes != nil {
+		return p.bytes[off]
+	}
+	return p.words[off>>2]
+}
+
+// setByte assigns the tag of the byte at page offset off, degrading
+// the page only if the write actually breaks word uniformity.
+func (p *shadowPage) setByte(off uint32, t Tag) {
+	if p.bytes != nil {
+		p.bytes[off] = t
+		return
+	}
+	if p.words[off>>2] == t {
+		return // word already carries t; no-op, page stays in word mode
+	}
+	p.degrade()
+	p.bytes[off] = t
 }
 
 // NewShadow returns an empty shadow map backed by the given store.
@@ -28,60 +93,194 @@ func NewShadow(store *Store) *Shadow {
 // Store returns the tag store this shadow resolves tags against.
 func (sh *Shadow) Store() *Store { return sh.store }
 
+// page resolves a page index through the TLB, returning nil when the
+// page is unallocated.
+func (sh *Shadow) page(idx uint32) *shadowPage {
+	if sh.tlbPage != nil && sh.tlbIdx == idx {
+		return sh.tlbPage
+	}
+	p := sh.pages[idx]
+	if p != nil {
+		sh.tlbIdx, sh.tlbPage = idx, p
+	}
+	return p
+}
+
+// pageAlloc resolves a page index, allocating the page on demand.
+func (sh *Shadow) pageAlloc(idx uint32) *shadowPage {
+	if p := sh.page(idx); p != nil {
+		return p
+	}
+	p := &shadowPage{}
+	sh.pages[idx] = p
+	sh.tlbIdx, sh.tlbPage = idx, p
+	return p
+}
+
 // Get returns the tag of the byte at addr.
 func (sh *Shadow) Get(addr uint32) Tag {
-	p, ok := sh.pages[addr>>pageShift]
-	if !ok {
+	p := sh.page(addr >> pageShift)
+	if p == nil {
 		return Empty
 	}
-	return p.tags[addr&pageMask]
+	return p.getByte(addr & pageMask)
 }
 
 // Set assigns the tag of the byte at addr. Setting Empty on an
 // unallocated page is a no-op (no page is created).
 func (sh *Shadow) Set(addr uint32, t Tag) {
-	idx := addr >> pageShift
-	p, ok := sh.pages[idx]
-	if !ok {
+	p := sh.page(addr >> pageShift)
+	if p == nil {
 		if t == Empty {
 			return
 		}
-		p = &shadowPage{}
-		sh.pages[idx] = p
+		p = sh.pageAlloc(addr >> pageShift)
 	}
-	p.tags[addr&pageMask] = t
+	p.setByte(addr&pageMask, t)
 }
 
-// SetRange assigns the same tag to n bytes starting at addr.
+// GetWord returns the union of the four byte tags at addr (the tag of
+// a 32-bit load). The aligned word-mode case — the hot path — is one
+// page lookup and one array index.
+func (sh *Shadow) GetWord(addr uint32) Tag {
+	off := addr & pageMask
+	if off > pageSize-4 {
+		return sh.GetRange(addr, 4) // crosses a page boundary
+	}
+	p := sh.page(addr >> pageShift)
+	if p == nil {
+		return Empty
+	}
+	if p.bytes == nil {
+		if off&3 == 0 {
+			return p.words[off>>2]
+		}
+		// Unaligned, word mode: the four bytes span two uniform words.
+		return sh.store.Union(p.words[off>>2], p.words[(off+3)>>2])
+	}
+	b := p.bytes
+	return sh.store.Union(
+		sh.store.Union(b[off], b[off+1]),
+		sh.store.Union(b[off+2], b[off+3]))
+}
+
+// SetWord assigns t to the four bytes at addr (the tag of a 32-bit
+// store). The aligned word-mode case is one page lookup and one array
+// store; aligned stores never degrade a page.
+func (sh *Shadow) SetWord(addr uint32, t Tag) {
+	off := addr & pageMask
+	if off > pageSize-4 {
+		sh.SetRange(addr, 4, t) // crosses a page boundary
+		return
+	}
+	p := sh.page(addr >> pageShift)
+	if p == nil {
+		if t == Empty {
+			return
+		}
+		p = sh.pageAlloc(addr >> pageShift)
+	}
+	if p.bytes == nil && off&3 == 0 {
+		p.words[off>>2] = t
+		return
+	}
+	p.setByte(off, t)
+	p.setByte(off+1, t)
+	p.setByte(off+2, t)
+	p.setByte(off+3, t)
+}
+
+// SetRange assigns the same tag to n bytes starting at addr,
+// operating page-at-a-time: an Empty tag skips unallocated pages
+// entirely, and word-mode pages take the interior as word fills.
 func (sh *Shadow) SetRange(addr, n uint32, t Tag) {
-	for i := uint32(0); i < n; i++ {
-		sh.Set(addr+i, t)
+	for n > 0 {
+		idx := addr >> pageShift
+		off := addr & pageMask
+		chunk := pageSize - off
+		if chunk > n {
+			chunk = n
+		}
+		p := sh.page(idx)
+		if p == nil {
+			if t != Empty {
+				p = sh.pageAlloc(idx)
+				p.setRange(off, chunk, t)
+			}
+		} else {
+			p.setRange(off, chunk, t)
+		}
+		addr += chunk
+		n -= chunk
 	}
 }
 
-// GetRange returns the union of the tags of n bytes starting at addr.
+// setRange assigns t to chunk bytes at page offset off (off+chunk <=
+// pageSize). Word-mode pages fill whole words for the aligned
+// interior and fall back to setByte (degrade-if-needed) at the edges.
+func (p *shadowPage) setRange(off, chunk uint32, t Tag) {
+	end := off + chunk
+	if p.bytes == nil {
+		for off < end && off&3 != 0 {
+			p.setByte(off, t)
+			if p.bytes != nil {
+				break // degraded mid-edge; finish in byte mode below
+			}
+			off++
+		}
+		if p.bytes == nil {
+			for off+4 <= end {
+				p.words[off>>2] = t
+				off += 4
+			}
+			for off < end {
+				p.setByte(off, t)
+				if p.bytes != nil {
+					break
+				}
+				off++
+			}
+		}
+	}
+	if p.bytes != nil {
+		for ; off < end; off++ {
+			p.bytes[off] = t
+		}
+	}
+}
+
+// GetRange returns the union of the tags of n bytes starting at addr,
+// operating page-at-a-time: unallocated pages contribute nothing, and
+// word-mode pages union one tag per touched word.
 func (sh *Shadow) GetRange(addr, n uint32) Tag {
 	out := Empty
-	for i := uint32(0); i < n; i++ {
-		out = sh.store.Union(out, sh.Get(addr+i))
+	for n > 0 {
+		idx := addr >> pageShift
+		off := addr & pageMask
+		chunk := pageSize - off
+		if chunk > n {
+			chunk = n
+		}
+		if p := sh.page(idx); p != nil {
+			if p.bytes == nil {
+				for w, last := off>>2, (off+chunk-1)>>2; w <= last; w++ {
+					out = sh.store.Union(out, p.words[w])
+				}
+			} else {
+				for i := uint32(0); i < chunk; i++ {
+					out = sh.store.Union(out, p.bytes[off+i])
+				}
+			}
+		}
+		addr += chunk
+		n -= chunk
 	}
 	return out
 }
 
-// GetWord returns the union of the four byte tags at addr (the tag of
-// a 32-bit load).
-func (sh *Shadow) GetWord(addr uint32) Tag {
-	return sh.GetRange(addr, 4)
-}
-
-// SetWord assigns t to the four bytes at addr (the tag of a 32-bit
-// store).
-func (sh *Shadow) SetWord(addr uint32, t Tag) {
-	sh.SetRange(addr, 4, t)
-}
-
 // Copy copies n byte tags from src to dst, preserving per-byte
 // precision (used when guest memory is copied wholesale, e.g. fork).
+// Overlapping ranges behave like memmove.
 func (sh *Shadow) Copy(dst, src, n uint32) {
 	if dst == src || n == 0 {
 		return
@@ -98,18 +297,23 @@ func (sh *Shadow) Copy(dst, src, n uint32) {
 }
 
 // Clone returns a deep copy of the shadow map sharing the same store.
-// Used by fork(): the child inherits the parent's taint state.
+// Used by fork(): the child inherits the parent's taint state. The
+// clone starts with a cold page cache.
 func (sh *Shadow) Clone() *Shadow {
 	out := NewShadow(sh.store)
 	for idx, p := range sh.pages {
-		cp := &shadowPage{}
-		cp.tags = p.tags
+		cp := &shadowPage{words: p.words}
+		if p.bytes != nil {
+			b := *p.bytes
+			cp.bytes = &b
+		}
 		out.pages[idx] = cp
 	}
 	return out
 }
 
-// ClearRange resets n bytes starting at addr to Empty.
+// ClearRange resets n bytes starting at addr to Empty. Unallocated
+// pages are skipped without being probed per byte.
 func (sh *Shadow) ClearRange(addr, n uint32) {
 	sh.SetRange(addr, n, Empty)
 }
@@ -118,7 +322,20 @@ func (sh *Shadow) ClearRange(addr, n uint32) {
 // Used by execve(), which replaces the address space.
 func (sh *Shadow) Reset() {
 	sh.pages = make(map[uint32]*shadowPage)
+	sh.tlbPage = nil
 }
 
 // Pages returns the number of shadow pages currently allocated.
 func (sh *Shadow) Pages() int { return len(sh.pages) }
+
+// bytePages returns how many allocated pages have degraded to byte
+// mode (exposed for tests and stats).
+func (sh *Shadow) bytePages() int {
+	n := 0
+	for _, p := range sh.pages {
+		if p.bytes != nil {
+			n++
+		}
+	}
+	return n
+}

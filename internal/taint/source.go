@@ -91,16 +91,30 @@ type Tag uint32
 // Empty is the untainted tag: the empty source set.
 const Empty Tag = 0
 
+// unionCacheSize is the number of slots in the direct-mapped union
+// cache fronting the unions map. Must be a power of two.
+const unionCacheSize = 4096
+
+// unionEntry is one direct-mapped cache slot. The zero entry (a == b
+// == 0) can never match a live probe: Union short-circuits when either
+// operand is Empty, so cached pairs always have 0 < a < b.
+type unionEntry struct{ a, b, out Tag }
+
 // Store interns source sets and caches unions. A Store is not safe for
 // concurrent use; the simulator is single-threaded per run, matching
 // Harrier's synchronous event model (paper §6.1.1).
 type Store struct {
 	sets    [][]Source     // sets[tag] = canonical sorted source set
 	index   map[string]Tag // canonical key -> tag
-	unions  map[[2]Tag]Tag // cached unions
+	unions  map[[2]Tag]Tag // cached unions (complete, backs the ucache)
 	singles map[Source]Tag // fast path for single-source tags
 	unionN  uint64         // statistics: union operations performed
-	hitN    uint64         // statistics: union cache hits
+	hitN    uint64         // statistics: union cache hits (fast + map)
+	fastN   uint64         // statistics: direct-mapped cache hits
+
+	// ucache is a direct-mapped cache probed before the unions map:
+	// one array read against three map-hash probes in the hot loop.
+	ucache [unionCacheSize]unionEntry
 }
 
 // NewStore returns an empty store whose tag 0 is the empty set.
@@ -183,8 +197,15 @@ func (st *Store) Union(a, b Tag) Tag {
 		a, b = b, a
 	}
 	st.unionN++
+	slot := &st.ucache[(uint32(a)*0x9E3779B1^uint32(b)*0x85EBCA77)&(unionCacheSize-1)]
+	if slot.a == a && slot.b == b {
+		st.hitN++
+		st.fastN++
+		return slot.out
+	}
 	if t, ok := st.unions[[2]Tag{a, b}]; ok {
 		st.hitN++
+		*slot = unionEntry{a, b, t}
 		return t
 	}
 	sa, sb := st.sets[a], st.sets[b]
@@ -208,6 +229,7 @@ func (st *Store) Union(a, b Tag) Tag {
 	merged = append(merged, sb[j:]...)
 	t := st.intern(merged)
 	st.unions[[2]Tag{a, b}] = t
+	*slot = unionEntry{a, b, t}
 	return t
 }
 
@@ -287,7 +309,11 @@ func (st *Store) String(t Tag) string {
 }
 
 // Stats reports interning statistics: distinct sets, union operations,
-// and union cache hits.
+// and union cache hits (direct-mapped or map).
 func (st *Store) Stats() (sets int, unions, hits uint64) {
 	return len(st.sets), st.unionN, st.hitN
 }
+
+// FastHits reports how many union cache hits were served by the
+// direct-mapped cache without touching the union map.
+func (st *Store) FastHits() uint64 { return st.fastN }

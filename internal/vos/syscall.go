@@ -128,7 +128,7 @@ func (os *OS) forkProcess(p *Process) *Process {
 		child.FDs[n] = fd.clone()
 	}
 	p.children++
-	os.procs[child.PID] = child
+	os.addProc(child)
 	return child
 }
 

@@ -3,7 +3,6 @@ package vos
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"repro/internal/image"
 	"repro/internal/isa"
@@ -55,10 +54,15 @@ type OS struct {
 	// Console accumulates all stdout/stderr writes across processes.
 	Console []byte
 
-	procs   map[int]*Process
-	nextPID int
-	opts    Options
-	kern    *kernel
+	procs map[int]*Process
+	// procList mirrors procs in PID order (PIDs are monotonic and
+	// processes are never removed, so appends keep it sorted). The
+	// scheduler iterates it directly instead of re-sorting the map
+	// every 128-instruction round.
+	procList []*Process
+	nextPID  int
+	opts     Options
+	kern     *kernel
 }
 
 // New creates an empty virtual machine.
@@ -84,16 +88,15 @@ func (os *OS) Process(pid int) (*Process, bool) {
 
 // Processes returns all processes (including exited) in pid order.
 func (os *OS) Processes() []*Process {
-	pids := make([]int, 0, len(os.procs))
-	for pid := range os.procs {
-		pids = append(pids, pid)
-	}
-	sort.Ints(pids)
-	out := make([]*Process, len(pids))
-	for i, pid := range pids {
-		out[i] = os.procs[pid]
-	}
+	out := make([]*Process, len(os.procList))
+	copy(out, os.procList)
 	return out
+}
+
+// addProc registers a process in the table and the scheduler list.
+func (os *OS) addProc(p *Process) {
+	os.procs[p.PID] = p
+	os.procList = append(os.procList, p)
 }
 
 // LiveCount returns the number of non-exited processes.
@@ -179,7 +182,7 @@ func (os *OS) StartProcess(spec ProcSpec) (*Process, error) {
 	}
 	p.setupStack()
 	p.installStdio()
-	os.procs[p.PID] = p
+	os.addProc(p)
 	if p.Monitor != nil {
 		p.Monitor.Started(p)
 	}
@@ -205,11 +208,15 @@ func (os *OS) loadInto(p *Process, f *File) error {
 // the instruction budget is exhausted, or a deadlock is detected.
 func (os *OS) Run() error {
 	idleRounds := 0
+	sps := os.opts.StepsPerSlice
 	for {
 		os.Net.Tick(os.Clock)
 		progressed := false
 		anyAlive := false
-		for _, p := range os.Processes() {
+		// Snapshot the length: children forked this round first run
+		// next round, exactly as when the table was re-sorted per round.
+		n := len(os.procList)
+		for _, p := range os.procList[:n] {
 			switch p.State {
 			case Exited:
 				continue
@@ -228,9 +235,14 @@ func (os *OS) Run() error {
 			default:
 				anyAlive = true
 			}
-			// Run one quantum.
-			for i := 0; i < os.opts.StepsPerSlice && p.State == Ready; i++ {
-				if err := p.CPU.Step(); err != nil {
+			// Run one quantum. A CPU halted by HLT (without exit())
+			// keeps State == Ready; the next Step returns ErrHalted
+			// and terminates it as an implicit clean exit, so the
+			// loop needs no per-instruction Halted check.
+			cpu := p.CPU
+			ran := 0
+			for ; ran < sps && p.State == Ready; ran++ {
+				if err := cpu.Step(); err != nil {
 					if err == isa.ErrHalted {
 						p.terminate(0, false, nil)
 					} else {
@@ -239,12 +251,10 @@ func (os *OS) Run() error {
 					break
 				}
 				os.Clock++
-				os.TotalSteps++
+			}
+			if ran > 0 {
+				os.TotalSteps += uint64(ran)
 				progressed = true
-				if p.CPU.Halted && p.State == Ready {
-					// HLT without exit(): implicit clean exit.
-					p.terminate(0, false, nil)
-				}
 			}
 		}
 		if !anyAlive {

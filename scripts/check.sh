@@ -1,0 +1,12 @@
+#!/bin/sh
+# check.sh — the full pre-merge gate: vet, build, unit tests, and the
+# race-detector pass over the parallel corpus runner. `make check`
+# invokes this script.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test ./...
+go test -race ./internal/corpus -run TestParallel
