@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: check test bench tables
+.PHONY: check test bench tables chaos
 
 # The full pre-merge gate: vet + build + tests + race-detector pass
-# over the parallel corpus runner.
+# over the parallel corpus runner + seeded chaos sweep + fuzz smoke.
 check:
 	sh scripts/check.sh
+
+# The robustness gate alone: zero-rate identity and fault containment
+# over the full corpus on a fixed seed.
+chaos:
+	$(GO) run ./cmd/hth-bench -chaos 0xC0FFEE,0.05 -parallel 4
 
 test:
 	$(GO) test ./...

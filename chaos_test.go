@@ -1,0 +1,163 @@
+package hth_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	hth "repro"
+	"repro/internal/chaos"
+	"repro/internal/secpert"
+	"repro/internal/vos"
+)
+
+// readerSrc opens and reads a file, exiting with the byte count (or
+// 77 when a syscall failed) — enough surface for the injector to hit.
+const readerSrc = `
+.text
+_start:
+    mov ebx, path
+    mov ecx, 0
+    mov eax, 5          ; open
+    int 0x80
+    cmp eax, 0
+    jl fail
+    mov ebx, eax
+    mov ecx, buf
+    mov edx, 16
+    mov eax, 3          ; read
+    int 0x80
+    cmp eax, 0
+    jl fail
+    mov ebx, eax
+    mov eax, 1
+    int 0x80
+fail:
+    mov ebx, 77
+    mov eax, 1
+    int 0x80
+.data
+path: .asciz "/etc/data"
+buf:  .space 16
+`
+
+func readerSystem() *hth.System {
+	sys := hth.NewSystem()
+	sys.MustInstallSource("/bin/reader", readerSrc)
+	sys.CreateFile("/etc/data", []byte("abcdefgh"))
+	return sys
+}
+
+// TestChaosFaultsReported runs a guest under a rate-1 read-fault plan
+// and checks that every injected fault surfaces as a structured entry
+// in Result.Chaos while the run itself stays a normal outcome.
+func TestChaosFaultsReported(t *testing.T) {
+	sys := readerSystem()
+	cfg := hth.DefaultConfig()
+	cfg.Chaos = &chaos.Plan{Seed: 7, Rate: 1, Only: []chaos.Kind{chaos.ReadErr}}
+	res, err := sys.Run(cfg, hth.RunSpec{Path: "/bin/reader"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Process.ExitCode != 77 {
+		t.Errorf("exit = %d, want 77 (read faulted)", res.Process.ExitCode)
+	}
+	if len(res.Chaos) == 0 {
+		t.Fatal("no faults recorded in Result.Chaos")
+	}
+	f := res.Chaos[0]
+	if f.Kind != chaos.ReadErr || f.Errno == 0 || !strings.Contains(f.String(), "read") {
+		t.Errorf("fault = %+v (%s)", f, f)
+	}
+}
+
+// TestChaosZeroRateInvisible checks the guest-invisibility guarantee
+// at the API boundary: a zero-rate plan yields a bit-identical result
+// to no plan at all.
+func TestChaosZeroRateInvisible(t *testing.T) {
+	run := func(plan *chaos.Plan) *hth.Result {
+		sys := readerSystem()
+		cfg := hth.DefaultConfig()
+		cfg.Chaos = plan
+		res, err := sys.Run(cfg, hth.RunSpec{Path: "/bin/reader"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(nil)
+	zero := run(&chaos.Plan{Seed: 99, Rate: 0})
+	if len(zero.Chaos) != 0 {
+		t.Errorf("zero-rate plan injected %d faults", len(zero.Chaos))
+	}
+	if base.Process.ExitCode != zero.Process.ExitCode ||
+		base.TotalSteps != zero.TotalSteps ||
+		len(base.Warnings) != len(zero.Warnings) {
+		t.Errorf("zero-rate run diverged: exit %d/%d steps %d/%d warnings %d/%d",
+			base.Process.ExitCode, zero.Process.ExitCode,
+			base.TotalSteps, zero.TotalSteps,
+			len(base.Warnings), len(zero.Warnings))
+	}
+}
+
+// TestPanicContainedAsRunError plants a panicking Advisor inside the
+// run and checks the panic is converted into a *hth.RunError at the
+// Run boundary instead of crashing the caller.
+func TestPanicContainedAsRunError(t *testing.T) {
+	sys := hth.NewSystem()
+	sys.MustInstallSource("/bin/ls", lsSrc)
+	sys.MustInstallSource("/bin/trojan", trojanSrc)
+	cfg := hth.DefaultConfig()
+	cfg.Advisor = secpert.AdvisorFunc(func(*secpert.Warning) secpert.Decision {
+		panic("advisor exploded")
+	})
+	res, err := sys.Run(cfg, hth.RunSpec{Path: "/bin/trojan"})
+	if err == nil {
+		t.Fatal("panic escaped as success")
+	}
+	var re *hth.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T %v, want *hth.RunError", err, err)
+	}
+	if re.Stage != "run" || !strings.Contains(re.Error(), "advisor exploded") {
+		t.Errorf("RunError = %+v", re)
+	}
+	if len(re.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if res != nil {
+		t.Error("result returned alongside contained panic")
+	}
+}
+
+// TestMissingProgramIsGuestFault checks setup failures carry the
+// guest-attributable *hth.GuestFault type.
+func TestMissingProgramIsGuestFault(t *testing.T) {
+	sys := hth.NewSystem()
+	_, err := sys.Run(hth.DefaultConfig(), hth.RunSpec{Path: "/nope"})
+	var gf *hth.GuestFault
+	if !errors.As(err, &gf) {
+		t.Fatalf("err = %T %v, want *hth.GuestFault", err, err)
+	}
+	if gf.Path != "/nope" {
+		t.Errorf("Path = %q", gf.Path)
+	}
+}
+
+// TestDeadlineConfig bounds a spinning guest by wall-clock time
+// through the public Config.
+func TestDeadlineConfig(t *testing.T) {
+	sys := hth.NewSystem()
+	sys.MustInstallSource("/bin/spin", ".text\n_start:\nl: jmp l\n")
+	cfg := hth.DefaultConfig()
+	cfg.MaxSteps = 1 << 62
+	cfg.Deadline = 20 * time.Millisecond
+	res, err := sys.Run(cfg, hth.RunSpec{Path: "/bin/spin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RunErr != vos.ErrDeadline {
+		t.Errorf("RunErr = %v, want vos.ErrDeadline", res.RunErr)
+	}
+}

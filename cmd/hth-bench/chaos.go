@@ -1,0 +1,88 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/corpus"
+	"repro/internal/report"
+)
+
+// runChaos is the -chaos mode: a robustness gate over the full corpus
+// rather than a table reproduction. It checks the two guarantees the
+// fault-injection subsystem makes:
+//
+//  1. A zero-rate plan is guest-invisible — its sweep is bit-identical
+//     (per the sweep signature) to a plain run of the same corpus.
+//  2. Under a fault-injecting plan, every scenario still ends in a
+//     structured outcome: a result or an error value, never an escaped
+//     panic, hang, or crash of the sweep itself.
+//
+// Returns the number of violated guarantees (0 = pass).
+func runChaos(spec string, parallelism int) int {
+	plan, err := chaos.ParsePlan(spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hth-bench: -chaos %s\n", err)
+		os.Exit(2)
+	}
+	scenarios := corpus.All()
+	failures := 0
+
+	// Guarantee 1: zero-rate invisibility against the plain baseline.
+	zero := plan
+	zero.Rate = 0
+	base := corpus.SweepSignature(corpus.RunAll(scenarios, parallelism))
+	inert := corpus.SweepSignature(corpus.RunAllChaos(scenarios, parallelism, zero))
+	diverged := 0
+	for i := range base {
+		if base[i] != inert[i] {
+			fmt.Printf("zero-rate divergence:\n  baseline %s\n  chaos    %s\n", base[i], inert[i])
+			diverged++
+		}
+	}
+	if diverged > 0 {
+		failures++
+	}
+	fmt.Printf("zero-rate identity: %d/%d scenarios bit-identical to baseline\n\n",
+		len(base)-diverged, len(base))
+
+	if plan.Rate == 0 {
+		return failures
+	}
+
+	// Guarantee 2: containment under real fault injection.
+	outs := corpus.RunAllChaos(scenarios, parallelism, plan)
+	t := &report.Table{
+		Title:  fmt.Sprintf("Chaos sweep (plan %s)", plan),
+		Header: []string{"Scenario", "Outcome", "Faults", "Status"},
+	}
+	faults, escapes := 0, 0
+	for i := range outs {
+		o := &outs[i]
+		status := "contained"
+		switch {
+		case o.Err != nil && strings.Contains(o.Err.Error(), "panicked"):
+			status = "ESCAPED PANIC"
+			escapes++
+			t.Add(o.Scenario.Name, "error: "+o.Err.Error(), "-", status)
+		case o.Err != nil:
+			t.Add(o.Scenario.Name, "error: "+o.Err.Error(), "-", status)
+		default:
+			faults += len(o.Result.Chaos)
+			outcome := corpus.Outcome(o.Result)
+			if o.Result.RunErr != nil {
+				outcome += " (" + o.Result.RunErr.Error() + ")"
+			}
+			t.Add(o.Scenario.Name, outcome, fmt.Sprint(len(o.Result.Chaos)), status)
+		}
+	}
+	fmt.Println(t)
+	fmt.Printf("%d faults injected across %d scenarios; %d escaped panics\n",
+		faults, len(outs), escapes)
+	if escapes > 0 {
+		failures++
+	}
+	return failures
+}

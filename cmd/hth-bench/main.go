@@ -8,6 +8,13 @@
 //	hth-bench -table perf        	# the §9 performance comparison
 //	hth-bench -table all -parallel 4   # sweep scenarios on 4 workers
 //	hth-bench -table perf -json        # also write BENCH_<date>.json
+//	hth-bench -chaos 0xC0FFEE,0.05     # seeded fault-injection gate
+//
+// The -chaos mode replaces table reproduction with the robustness
+// gate: it verifies a zero-rate plan leaves the corpus bit-identical
+// to the baseline, then sweeps the corpus under the given plan and
+// asserts every injected fault lands as a structured outcome (no
+// escaped panics, hangs or crashes).
 //
 // Scenario outcomes are independent of -parallel: every scenario runs
 // in a private virtual machine, so a 4-wide sweep reports exactly the
@@ -30,7 +37,15 @@ func main() {
 	table := flag.String("table", "all", "table to regenerate: 1|4|5|6|7|8|pwsafe|mw|ttt|perf|all")
 	parallel := flag.Int("parallel", 1, "scenario worker-pool width (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "write perf measurements to BENCH_<date>.json")
+	chaosSpec := flag.String("chaos", "", "run the fault-injection gate with plan \"seed,rate[,kind...]\"")
 	flag.Parse()
+
+	if *chaosSpec != "" {
+		if runChaos(*chaosSpec, *parallel) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	ids, perf := resolve(*table)
 	failures := 0

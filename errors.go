@@ -1,0 +1,73 @@
+package hth
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// RunError is the structured form of a failure inside a monitored run.
+// Internal panics anywhere under System.Run / Session.Wait — the
+// interpreter, the loader, the monitor, the expert system — are
+// recovered at the run boundary and surfaced as a *RunError instead of
+// crashing the embedding process, so one bad guest (or one injected
+// fault tickling an unhandled path) cannot take down a corpus sweep.
+type RunError struct {
+	// Stage names the API boundary that contained the failure:
+	// "run" (System.Run) or "wait" (Session.Wait).
+	Stage string
+	// Panic is the recovered panic value; nil when the error wraps a
+	// plain error rather than a contained panic.
+	Panic any
+	// Stack is the goroutine stack captured at recovery; nil for
+	// plain errors.
+	Stack []byte
+	// Err is the underlying error, when there is one.
+	Err error
+}
+
+// Error renders the failure; panics include the panic value but not
+// the stack (inspect Stack for that).
+func (e *RunError) Error() string {
+	if e.Panic != nil {
+		return fmt.Sprintf("hth: panic during %s: %v", e.Stage, e.Panic)
+	}
+	return fmt.Sprintf("hth: %s failed: %v", e.Stage, e.Err)
+}
+
+// Unwrap exposes the underlying error for errors.Is/As.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// GuestFault is a failure attributable to the guest program or its
+// world — a missing or malformed image, an unresolvable symbol, an
+// overlapping code mapping — as opposed to a defect in the framework
+// itself. It distinguishes "this specimen is broken" from "HTH is
+// broken" in sweep reports.
+type GuestFault struct {
+	// PID is the guest process involved, 0 when the fault precedes
+	// process creation.
+	PID int
+	// Path is the program or resource involved.
+	Path string
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error renders the fault.
+func (e *GuestFault) Error() string {
+	if e.PID != 0 {
+		return fmt.Sprintf("hth: guest fault (pid %d, %s): %v", e.PID, e.Path, e.Err)
+	}
+	return fmt.Sprintf("hth: guest fault (%s): %v", e.Path, e.Err)
+}
+
+// Unwrap exposes the underlying error for errors.Is/As.
+func (e *GuestFault) Unwrap() error { return e.Err }
+
+// contain converts a panic in flight into a *RunError on the named
+// return values. Use as: defer contain("run", &res, &err).
+func contain(stage string, res **Result, err *error) {
+	if r := recover(); r != nil {
+		*res = nil
+		*err = &RunError{Stage: stage, Panic: r, Stack: debug.Stack()}
+	}
+}

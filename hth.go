@@ -25,8 +25,10 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/asm"
+	"repro/internal/chaos"
 	"repro/internal/expert"
 	"repro/internal/guestlib"
 	"repro/internal/harrier"
@@ -55,6 +57,18 @@ type Config struct {
 	Unmonitored bool
 	// MaxSteps caps total guest instructions (0 = generous default).
 	MaxSteps uint64
+	// Chaos, when non-nil, attaches a seeded fault injector to the
+	// run (see internal/chaos). A zero-rate plan is guest-invisible:
+	// results are bit-identical to a run with no plan at all.
+	Chaos *chaos.Plan
+	// Deadline bounds the run's wall-clock time; on expiry the
+	// scheduler stops and Result.RunErr is vos.ErrDeadline. Zero
+	// means no deadline.
+	Deadline time.Duration
+	// MaxOpenFDs caps open descriptors per guest process; exhaustion
+	// surfaces to the guest as EMFILE. 0 applies the vos default
+	// (vos.DefaultMaxOpenFDs); negative disables the cap.
+	MaxOpenFDs int
 	// Verbose, when set, receives Secpert's CLIPS-style fire trace
 	// and warning printout as the run progresses.
 	Verbose io.Writer
@@ -100,9 +114,13 @@ type Result struct {
 	Events []harrier.LogEntry
 	// TotalSteps is the number of guest instructions executed.
 	TotalSteps uint64
-	// RunErr is a scheduler-level outcome (vos.ErrDeadlock or
-	// vos.ErrBudget) — not a setup failure.
+	// RunErr is a scheduler-level outcome (vos.ErrDeadlock,
+	// vos.ErrBudget or vos.ErrDeadline) — not a setup failure.
 	RunErr error
+	// Chaos lists every fault the configured injector delivered, in
+	// injection order (empty without a chaos plan). Each injected
+	// fault is thereby a structured, reportable outcome.
+	Chaos []chaos.Fault
 	// Secpert is the expert-system instance (nil when unmonitored).
 	Secpert *secpert.Secpert
 }
@@ -209,13 +227,18 @@ func (s *System) ScheduleConnect(at uint64, addr, from string, script vos.Remote
 }
 
 // Run executes the program under the given configuration and returns
-// the monitored outcome. Setup failures (missing program, assembly
-// errors) return an error; scheduler outcomes land in Result.RunErr.
-func (s *System) Run(cfg Config, spec RunSpec) (*Result, error) {
+// the monitored outcome. Setup failures return an error — guest-
+// attributable ones (missing program, malformed image) as a
+// *GuestFault; scheduler outcomes land in Result.RunErr. A panic
+// anywhere inside the run is contained at this boundary and returned
+// as a *RunError rather than crashing the caller.
+func (s *System) Run(cfg Config, spec RunSpec) (res *Result, err error) {
+	defer contain("run", &res, &err)
 	if cfg.MaxSteps == 0 {
 		cfg.MaxSteps = 50_000_000
 	}
 	s.OS.SetMaxSteps(cfg.MaxSteps)
+	inj := s.applyLimits(cfg)
 
 	var (
 		h   *harrier.Harrier
@@ -242,11 +265,11 @@ func (s *System) Run(cfg Config, spec RunSpec) (*Result, error) {
 
 	p, err := s.OS.StartProcess(pspec)
 	if err != nil {
-		return nil, err
+		return nil, &GuestFault{Path: spec.Path, Err: err}
 	}
 	runErr := s.OS.Run()
 
-	res := &Result{
+	res = &Result{
 		Console:    append([]byte(nil), s.OS.Console...),
 		Process:    p,
 		TotalSteps: s.OS.TotalSteps,
@@ -260,7 +283,28 @@ func (s *System) Run(cfg Config, spec RunSpec) (*Result, error) {
 		res.Events = h.EventLog()
 		res.Secpert = sec
 	}
+	if inj != nil {
+		res.Chaos = inj.Faults()
+	}
 	return res, nil
+}
+
+// applyLimits installs the config's resource budgets and optional
+// chaos injector on the OS, returning the injector (nil without a
+// plan).
+func (s *System) applyLimits(cfg Config) *chaos.Injector {
+	if cfg.Deadline > 0 {
+		s.OS.SetDeadline(cfg.Deadline)
+	}
+	if cfg.MaxOpenFDs != 0 {
+		s.OS.SetMaxOpenFDs(cfg.MaxOpenFDs)
+	}
+	if cfg.Chaos == nil {
+		return nil
+	}
+	inj := chaos.New(*cfg.Chaos)
+	s.OS.SetInjector(inj)
+	return inj
 }
 
 // Session monitors one or more programs with a single Secpert
@@ -272,6 +316,7 @@ type Session struct {
 	cfg   Config
 	sec   *secpert.Secpert
 	h     *harrier.Harrier
+	inj   *chaos.Injector
 	procs []*vos.Process
 }
 
@@ -281,12 +326,13 @@ func (s *System) NewSession(cfg Config) *Session {
 		cfg.MaxSteps = 50_000_000
 	}
 	s.OS.SetMaxSteps(cfg.MaxSteps)
+	inj := s.applyLimits(cfg)
 	sec := secpert.New(cfg.Policy, cfg.Advisor)
 	if cfg.Verbose != nil {
 		sec.SetOutput(cfg.Verbose)
 	}
 	h := harrier.New(cfg.Monitor, sec)
-	return &Session{sys: s, cfg: cfg, sec: sec, h: h}
+	return &Session{sys: s, cfg: cfg, sec: sec, h: h, inj: inj}
 }
 
 // Start launches a program under this session's shared monitor. The
@@ -308,14 +354,16 @@ func (sn *Session) Start(spec RunSpec) (*vos.Process, error) {
 }
 
 // Wait runs every started program to completion and returns the
-// combined result (Process is the first started program).
-func (sn *Session) Wait() (*Result, error) {
+// combined result (Process is the first started program). Panics are
+// contained as in System.Run.
+func (sn *Session) Wait() (res *Result, err error) {
+	defer contain("wait", &res, &err)
 	if len(sn.procs) == 0 {
 		return nil, fmt.Errorf("hth: session has no started programs")
 	}
 	runErr := sn.sys.OS.Run()
 	sn.sec.FinishSession()
-	res := &Result{
+	res = &Result{
 		Warnings:   sn.sec.Warnings(),
 		Trace:      sn.sec.Trace(),
 		Console:    append([]byte(nil), sn.sys.OS.Console...),
@@ -325,6 +373,9 @@ func (sn *Session) Wait() (*Result, error) {
 		TotalSteps: sn.sys.OS.TotalSteps,
 		RunErr:     runErr,
 		Secpert:    sn.sec,
+	}
+	if sn.inj != nil {
+		res.Chaos = sn.inj.Faults()
 	}
 	return res, nil
 }

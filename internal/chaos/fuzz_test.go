@@ -1,0 +1,54 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/vos"
+)
+
+// FuzzChaos fuzzes the plan decoder and, for every plan that decodes,
+// checks the injector's core guarantees: String round-trips, the
+// decision stream is deterministic, and ShortRead never widens or
+// zeroes a read. ParsePlan must never panic on any input.
+func FuzzChaos(f *testing.F) {
+	f.Add("42,0.25")
+	f.Add("0xdead,1,read,netdrop")
+	f.Add("7,0")
+	f.Add("1,0.5,shortread,shortread")
+	f.Add(",,,")
+	f.Add("9,1,accept,connect,open,write,netdelay,remotedrop")
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePlan(s)
+		if err != nil {
+			return
+		}
+		p2, err := ParsePlan(p.String())
+		if err != nil {
+			t.Fatalf("String %q of valid plan does not re-parse: %v", p.String(), err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip changed plan: %+v vs %+v", p, p2)
+		}
+		a, b := New(p), New(p)
+		for i := 0; i < 16; i++ {
+			fp := vos.FaultPoint{PID: 1, Num: vos.SysRead, Clock: uint64(i)}
+			ea, oka := a.SyscallFault(fp)
+			eb, okb := b.SyscallFault(fp)
+			if ea != eb || oka != okb {
+				t.Fatal("nondeterministic SyscallFault")
+			}
+			want := uint32(1 + i*7)
+			na, nb := a.ShortRead(fp, want), b.ShortRead(fp, want)
+			if na != nb {
+				t.Fatal("nondeterministic ShortRead")
+			}
+			if na < 1 || na > want {
+				t.Fatalf("ShortRead(%d) = %d out of range", want, na)
+			}
+		}
+		if !reflect.DeepEqual(a.Faults(), b.Faults()) {
+			t.Fatal("fault logs diverge under one plan")
+		}
+	})
+}

@@ -1,0 +1,109 @@
+// Package chaos implements seeded fault injection for the HTH
+// simulator: a deterministic injector that sits behind the vos
+// FaultInjector interface and turns a (seed, rate) plan into
+// reproducible synthetic failures — I/O errors, short reads,
+// descriptor exhaustion pressure, dropped or delayed remote peers.
+//
+// Determinism contract: the simulation is single-threaded per run and
+// consults the injector at fixed decision points, so one Injector
+// given one Plan produces the same fault sequence on every run. A
+// zero-rate plan never fires and is guest-invisible: detections under
+// it are bit-identical to a run with no injector at all. Per-scenario
+// injectors are derived by hashing the scenario name into the seed
+// (Plan.Derive), so a parallel corpus sweep is reproducible regardless
+// of worker scheduling order.
+package chaos
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Plan is the user-facing description of a chaos campaign: a PRNG
+// seed, a per-decision-point fault probability, and an optional
+// restriction to a subset of fault kinds (nil/empty = all kinds).
+type Plan struct {
+	Seed uint64
+	Rate float64 // probability in [0, 1] that an offered point fires
+	Only []Kind  // restrict to these kinds; empty means all
+}
+
+// ParsePlan decodes the "-chaos" flag syntax: "seed,rate[,kind...]".
+// The seed accepts any Go integer literal form (decimal, 0x...); the
+// rate must lie in [0, 1]; kinds use the names in KindNames.
+func ParsePlan(s string) (Plan, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) < 2 {
+		return Plan{}, fmt.Errorf("chaos: plan %q: want seed,rate[,kind...]", s)
+	}
+	seed, err := strconv.ParseUint(strings.TrimSpace(parts[0]), 0, 64)
+	if err != nil {
+		return Plan{}, fmt.Errorf("chaos: plan seed %q: %v", parts[0], err)
+	}
+	rate, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return Plan{}, fmt.Errorf("chaos: plan rate %q: %v", parts[1], err)
+	}
+	if rate < 0 || rate > 1 || rate != rate {
+		return Plan{}, fmt.Errorf("chaos: plan rate %v outside [0, 1]", rate)
+	}
+	p := Plan{Seed: seed, Rate: rate}
+	seen := map[Kind]bool{}
+	for _, name := range parts[2:] {
+		k, ok := KindByName(strings.TrimSpace(name))
+		if !ok {
+			return Plan{}, fmt.Errorf("chaos: unknown fault kind %q (known: %s)",
+				name, strings.Join(KindNames(), " "))
+		}
+		if !seen[k] {
+			seen[k] = true
+			p.Only = append(p.Only, k)
+		}
+	}
+	sort.Slice(p.Only, func(i, j int) bool { return p.Only[i] < p.Only[j] })
+	return p, nil
+}
+
+// String renders the plan in ParsePlan syntax; ParsePlan(p.String())
+// reproduces p.
+func (p Plan) String() string {
+	out := fmt.Sprintf("%d,%s", p.Seed, strconv.FormatFloat(p.Rate, 'g', -1, 64))
+	for _, k := range p.Only {
+		out += "," + k.String()
+	}
+	return out
+}
+
+// Enabled reports whether the plan allows faults of kind k.
+func (p Plan) Enabled(k Kind) bool {
+	if len(p.Only) == 0 {
+		return true
+	}
+	for _, o := range p.Only {
+		if o == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Derive returns a plan whose seed mixes in name, so that each
+// scenario in a sweep draws from an independent, order-insensitive
+// fault stream: running scenarios in any order, on any number of
+// workers, yields the same per-scenario faults.
+func (p Plan) Derive(name string) Plan {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime
+	}
+	d := p
+	d.Seed = splitmix64(p.Seed ^ h)
+	return d
+}

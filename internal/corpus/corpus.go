@@ -100,7 +100,13 @@ func ByName(name string) (*Scenario, bool) {
 }
 
 // Run executes the scenario and returns the monitored result.
-func (sc *Scenario) Run() (*hth.Result, error) {
+func (sc *Scenario) Run() (*hth.Result, error) { return sc.RunWith(nil) }
+
+// RunWith executes the scenario with an extra configuration override
+// applied after the scenario's own Tweak — the hook sweep harnesses
+// use to attach chaos plans and resource budgets without touching the
+// scenario definitions.
+func (sc *Scenario) RunWith(extra func(*hth.Config)) (*hth.Result, error) {
 	sys := hth.NewSystem()
 	if sc.Setup != nil {
 		sc.Setup(sys)
@@ -108,6 +114,9 @@ func (sc *Scenario) Run() (*hth.Result, error) {
 	cfg := hth.DefaultConfig()
 	if sc.Tweak != nil {
 		sc.Tweak(&cfg)
+	}
+	if extra != nil {
+		extra(&cfg)
 	}
 	return sys.Run(cfg, sc.Spec)
 }

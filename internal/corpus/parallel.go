@@ -1,10 +1,14 @@
 package corpus
 
 import (
+	"fmt"
+	"hash/fnv"
+	"io"
 	"runtime"
 	"sync"
 
 	hth "repro"
+	"repro/internal/chaos"
 )
 
 // RunOutcome is the result of one scenario in a RunAll sweep.
@@ -29,6 +33,36 @@ func (o *RunOutcome) Reproduced() bool {
 // runs share no mutable state: a sweep's outcomes are identical at
 // any parallelism, including 1.
 func RunAll(scenarios []*Scenario, parallelism int) []RunOutcome {
+	return runAll(scenarios, parallelism, nil)
+}
+
+// chaosMaxSteps bounds guest execution during fault-injecting sweeps:
+// an injected error can send a guest's retry loop spinning, and the
+// run must become a structured vos.ErrBudget outcome quickly instead
+// of burning the full default budget under taint tracking. The cap is
+// a virtual-instruction count, so chaos sweeps stay deterministic.
+const chaosMaxSteps = 2_000_000
+
+// RunAllChaos is RunAll under a chaos plan: every scenario runs with a
+// fault injector seeded from plan.Derive(scenario name), so the
+// per-scenario fault streams do not depend on worker scheduling and
+// the whole sweep is reproducible from (plan, corpus) alone.
+//
+// Zero-rate plans leave the scenario configuration untouched apart
+// from the (inert) injector, so their sweeps are bit-identical to
+// RunAll. Fault-injecting plans additionally tighten the step budget
+// to chaosMaxSteps.
+func RunAllChaos(scenarios []*Scenario, parallelism int, plan chaos.Plan) []RunOutcome {
+	return runAll(scenarios, parallelism, func(sc *Scenario, cfg *hth.Config) {
+		derived := plan.Derive(sc.Name)
+		cfg.Chaos = &derived
+		if plan.Rate > 0 && (cfg.MaxSteps == 0 || cfg.MaxSteps > chaosMaxSteps) {
+			cfg.MaxSteps = chaosMaxSteps
+		}
+	})
+}
+
+func runAll(scenarios []*Scenario, parallelism int, extra func(*Scenario, *hth.Config)) []RunOutcome {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -43,13 +77,7 @@ func RunAll(scenarios []*Scenario, parallelism int) []RunOutcome {
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				sc := scenarios[i]
-				o := RunOutcome{Scenario: sc}
-				o.Result, o.Err = sc.Run()
-				if o.Err == nil {
-					o.Problems = sc.Check(o.Result)
-				}
-				out[i] = o
+				out[i] = runScenario(scenarios[i], extra)
 			}
 		}()
 	}
@@ -59,4 +87,54 @@ func RunAll(scenarios []*Scenario, parallelism int) []RunOutcome {
 	close(work)
 	wg.Wait()
 	return out
+}
+
+// runScenario executes one scenario, containing any panic — from the
+// scenario's own Setup/Tweak/Check hooks, or anything hth's own run
+// boundary did not already convert — as a structured outcome error.
+// One crashing scenario therefore never takes down a sweep or its
+// worker goroutine.
+func runScenario(sc *Scenario, extra func(*Scenario, *hth.Config)) (o RunOutcome) {
+	o.Scenario = sc
+	defer func() {
+		if r := recover(); r != nil {
+			o.Result = nil
+			o.Problems = nil
+			o.Err = fmt.Errorf("corpus: scenario %s panicked: %v", sc.Name, r)
+		}
+	}()
+	var hook func(*hth.Config)
+	if extra != nil {
+		hook = func(cfg *hth.Config) { extra(sc, cfg) }
+	}
+	o.Result, o.Err = sc.RunWith(hook)
+	if o.Err == nil {
+		o.Problems = sc.Check(o.Result)
+	}
+	return o
+}
+
+// SweepSignature reduces a sweep to one line per scenario capturing
+// its observable detection behaviour: executed steps, outcome,
+// problem count, injected-fault count, and an FNV-64a hash of the
+// full warning text. Two sweeps whose signatures match element-wise
+// produced bit-identical detections, so zero-rate chaos runs can be
+// checked against their baseline cheaply.
+func SweepSignature(outs []RunOutcome) []string {
+	sig := make([]string, len(outs))
+	for i, o := range outs {
+		if o.Err != nil {
+			sig[i] = fmt.Sprintf("%s: error %v", o.Scenario.Name, o.Err)
+			continue
+		}
+		h := fnv.New64a()
+		for _, w := range o.Result.Warnings {
+			io.WriteString(h, w.String())
+			io.WriteString(h, "\x00")
+		}
+		sig[i] = fmt.Sprintf("%s: steps=%d outcome=%q problems=%d faults=%d warnhash=%016x",
+			o.Scenario.Name, o.Result.TotalSteps, Outcome(o.Result),
+			len(o.Problems), len(o.Result.Chaos), h.Sum64())
+	}
+	return sig
 }

@@ -1,25 +1,12 @@
 package corpus
 
 import (
-	"fmt"
+	"strings"
 	"testing"
-)
 
-// sweepSignature reduces a sweep to the observable detection behaviour
-// of every scenario: warning count, per-severity counts, executed
-// steps, and the reproduction verdict.
-func sweepSignature(outs []RunOutcome) []string {
-	sig := make([]string, len(outs))
-	for i, o := range outs {
-		if o.Err != nil {
-			sig[i] = fmt.Sprintf("%s: error %v", o.Scenario.Name, o.Err)
-			continue
-		}
-		sig[i] = fmt.Sprintf("%s: steps=%d outcome=%q problems=%d",
-			o.Scenario.Name, o.Result.TotalSteps, Outcome(o.Result), len(o.Problems))
-	}
-	return sig
-}
+	hth "repro"
+	"repro/internal/chaos"
+)
 
 // TestParallelMatchesSerial runs the whole corpus at parallelism 1 and
 // 4 and requires bit-identical detection behaviour: every scenario owns
@@ -29,8 +16,8 @@ func TestParallelMatchesSerial(t *testing.T) {
 	if len(scs) == 0 {
 		t.Fatal("empty corpus")
 	}
-	serial := sweepSignature(RunAll(scs, 1))
-	par := sweepSignature(RunAll(scs, 4))
+	serial := SweepSignature(RunAll(scs, 1))
+	par := SweepSignature(RunAll(scs, 4))
 	for i := range serial {
 		if serial[i] != par[i] {
 			t.Errorf("parallel sweep diverged:\n  serial: %s\n  par-4:  %s", serial[i], par[i])
@@ -63,6 +50,80 @@ func TestParallelZeroSelectsGOMAXPROCS(t *testing.T) {
 	for _, o := range outs {
 		if o.Err != nil {
 			t.Errorf("%s: %v", o.Scenario.Name, o.Err)
+		}
+	}
+}
+
+// TestPanickingScenarioContained proves one crashing scenario cannot
+// take down a parallel sweep: its panic becomes a structured outcome
+// error and every other scenario completes normally.
+func TestPanickingScenarioContained(t *testing.T) {
+	good := All()[:3]
+	bomb := &Scenario{
+		Name:   "deliberate-panic",
+		Table:  "TEST",
+		Setup:  func(sys *hth.System) { panic("scenario bomb") },
+		Expect: Expectation{ExactCount: -1},
+	}
+	scs := []*Scenario{good[0], bomb, good[1], good[2]}
+	outs := RunAll(scs, 4)
+	if len(outs) != 4 {
+		t.Fatalf("got %d outcomes", len(outs))
+	}
+	if outs[1].Err == nil || !strings.Contains(outs[1].Err.Error(), "scenario bomb") {
+		t.Errorf("panic outcome = %+v, want structured error", outs[1].Err)
+	}
+	if outs[1].Result != nil || outs[1].Reproduced() {
+		t.Error("panicked scenario reports a result")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if outs[i].Err != nil {
+			t.Errorf("%s: healthy scenario failed next to a panicking one: %v",
+				outs[i].Scenario.Name, outs[i].Err)
+		}
+	}
+}
+
+// TestChaosZeroRateIdentity is the acceptance gate for the injector's
+// pass-through guarantee: a zero-rate chaos sweep over the whole
+// corpus is bit-identical (steps, outcomes, warning text) to the
+// plain sweep.
+func TestChaosZeroRateIdentity(t *testing.T) {
+	scs := All()
+	base := SweepSignature(RunAll(scs, 4))
+	zero := SweepSignature(RunAllChaos(scs, 4, chaos.Plan{Seed: 12345, Rate: 0}))
+	for i := range base {
+		if base[i] != zero[i] {
+			t.Errorf("zero-rate chaos diverged:\n  base: %s\n  zero: %s", base[i], zero[i])
+		}
+	}
+}
+
+// TestChaosSweepContained runs the full corpus under a nonzero fault
+// rate at parallelism 4: no panic may escape (the test binary would
+// die), every outcome must be structured, and the sweep must be
+// reproducible from the plan alone — two runs agree element-wise.
+func TestChaosSweepContained(t *testing.T) {
+	scs := All()
+	plan := chaos.Plan{Seed: 0xC0FFEE, Rate: 0.05}
+	a := RunAllChaos(scs, 4, plan)
+	faults := 0
+	for _, o := range a {
+		if o.Err == nil && o.Result == nil {
+			t.Fatalf("%s: neither result nor error", o.Scenario.Name)
+		}
+		if o.Result != nil {
+			faults += len(o.Result.Chaos)
+		}
+	}
+	if faults == 0 {
+		t.Error("5% fault rate over the corpus injected nothing")
+	}
+	b := RunAllChaos(scs, 4, plan)
+	sa, sb := SweepSignature(a), SweepSignature(b)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Errorf("chaos sweep not reproducible:\n  1st: %s\n  2nd: %s", sa[i], sb[i])
 		}
 	}
 }

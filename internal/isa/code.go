@@ -141,17 +141,21 @@ type CodeMap struct {
 // NewCodeMap returns an empty code map.
 func NewCodeMap() *CodeMap { return &CodeMap{} }
 
-// Add registers a span. Spans must not overlap; Add panics on overlap
-// since that is a loader bug, not a guest error.
-func (cm *CodeMap) Add(s *Span) {
+// Add registers a span. Spans must not overlap; an overlap — a
+// malformed or adversarial image whose layout collides with an
+// already-mapped one — is reported as an error for the loader to
+// surface as a structured load failure, never as a crash.
+func (cm *CodeMap) Add(s *Span) error {
 	for _, o := range cm.spans {
 		if s.Base < o.End() && o.Base < s.End() {
-			panic(fmt.Sprintf("isa: overlapping code spans %#x and %#x", s.Base, o.Base))
+			return fmt.Errorf("isa: overlapping code spans %#x (%s) and %#x (%s)",
+				s.Base, s.Image, o.Base, o.Image)
 		}
 	}
 	cm.spans = append(cm.spans, s)
 	sort.Slice(cm.spans, func(i, j int) bool { return cm.spans[i].Base < cm.spans[j].Base })
 	cm.last = nil
+	return nil
 }
 
 // Find resolves addr to its span and instruction index.

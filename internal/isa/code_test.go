@@ -89,15 +89,22 @@ func TestCodeMapFind(t *testing.T) {
 	}
 }
 
-func TestCodeMapOverlapPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic on overlap")
-		}
-	}()
+func TestCodeMapOverlapError(t *testing.T) {
 	cm := NewCodeMap()
-	cm.Add(NewSpan(0x1000, "a", []Instr{{Op: NOP}, {Op: NOP}}, nil))
-	cm.Add(NewSpan(0x1004, "b", []Instr{{Op: NOP}}, nil))
+	if err := cm.Add(NewSpan(0x1000, "a", []Instr{{Op: NOP}, {Op: NOP}}, nil)); err != nil {
+		t.Fatalf("first Add: %v", err)
+	}
+	err := cm.Add(NewSpan(0x1004, "b", []Instr{{Op: NOP}}, nil))
+	if err == nil {
+		t.Fatal("no error on overlap")
+	}
+	if !strings.Contains(err.Error(), "overlapping") {
+		t.Errorf("error = %v", err)
+	}
+	// The overlapping span must not have been registered.
+	if len(cm.Spans()) != 1 {
+		t.Errorf("overlapping span registered: %d spans", len(cm.Spans()))
+	}
 }
 
 func TestCodeMapSymbolAddr(t *testing.T) {

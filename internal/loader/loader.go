@@ -249,7 +249,9 @@ func (m *Map) load(cpu *isa.CPU, img *image.Image, env *Env, root bool) (*Loaded
 		}
 		span := isa.NewSpan(li.SectionBases[i], img.Name, instrs, img.TextSymbols(i))
 		li.Spans = append(li.Spans, span)
-		cpu.Code.Add(span)
+		if err := cpu.Code.Add(span); err != nil {
+			return nil, fmt.Errorf("loader: mapping %s: %w", img.Name, err)
+		}
 	}
 
 	// Apply data relocations.

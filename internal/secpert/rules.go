@@ -340,18 +340,30 @@ func (s *Secpert) analyzeWrite(b *expert.Bindings) []finding {
 		if name == "stdin" {
 			continue
 		}
+		wide := name == taint.WideName
 		srcClass, srcSupport := s.classifyOrigin(s.origins[name])
+		if wide && srcClass == originUnknown {
+			// The monitor summarized this tag under its width
+			// budget, so the file's identity — and with it the
+			// name-origin record — is gone. Soundness requires the
+			// worst-case assumption: classify as remote so the
+			// degraded run over-warns rather than losing the flow.
+			srcClass = originRemote
+			srcSupport = nil
+		}
 		sev, warnIt := pairSeverity(srcClass)
 		if !warnIt {
 			continue
 		}
 		lines := []string{fmt.Sprintf("Found Write call Data Flowing From: %s To: %s", name, targetDisp)}
-		switch srcClass {
-		case originHardcoded:
+		switch {
+		case wide:
+			lines = append(lines, "source file identity was summarized away (taint width budget); assuming the worst case")
+		case srcClass == originHardcoded:
 			lines = append(lines, fmt.Sprintf("source filename was hardcoded in: %s", quoteList(srcSupport)))
-		case originUser:
+		case srcClass == originUser:
 			lines = append(lines, "source filename was given by the user")
-		case originRemote:
+		case srcClass == originRemote:
 			lines = append(lines, fmt.Sprintf("source filename originated from a socket %s", quoteList(srcSupport)))
 		}
 		lines = appendNonEmpty(lines, targetLine())

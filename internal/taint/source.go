@@ -95,6 +95,14 @@ const Empty Tag = 0
 // cache fronting the unions map. Must be a power of two.
 const unionCacheSize = 4096
 
+// WideName is the placeholder resource name carried by summarized
+// sources once a set exceeds the store's width budget. A wide source
+// means "one or more resources of this type, names no longer tracked":
+// the set stays sound at the type level (warnings that key on source
+// type still fire) while its width is bounded by the number of source
+// types instead of the number of distinct resources.
+const WideName = "<wide>"
+
 // unionEntry is one direct-mapped cache slot. The zero entry (a == b
 // == 0) can never match a live probe: Union short-circuits when either
 // operand is Empty, so cached pairs always have 0 < a < b.
@@ -111,6 +119,9 @@ type Store struct {
 	unionN  uint64         // statistics: union operations performed
 	hitN    uint64         // statistics: union cache hits (fast + map)
 	fastN   uint64         // statistics: direct-mapped cache hits
+
+	widthBudget int    // max sources per set; 0 = unlimited
+	wideN       uint64 // statistics: sets summarized to wide sources
 
 	// ucache is a direct-mapped cache probed before the unions map:
 	// one array read against three map-hash probes in the hot loop.
@@ -172,8 +183,55 @@ func key(set []Source) string {
 	return b.String()
 }
 
-// intern stores a canonical (sorted, deduplicated) set.
+// SetWidthBudget caps the number of sources a set may carry. A set
+// that would exceed the budget degrades to one wide source per distinct
+// source type (Name = WideName), trading per-resource precision for a
+// hard bound on shadow-state width. The degradation over-approximates:
+// type-level membership is preserved, so no warning that keys on a
+// source type is ever lost. n <= 0 disables the budget. Tags interned
+// before the budget was set are not rewritten.
+func (st *Store) SetWidthBudget(n int) { st.widthBudget = n }
+
+// WidthBudget returns the configured width budget (0 = unlimited).
+func (st *Store) WidthBudget() int { return st.widthBudget }
+
+// WideUnions reports how many set-building operations were degraded to
+// wide sources under the width budget.
+func (st *Store) WideUnions() uint64 { return st.wideN }
+
+// IsWide reports whether the set named by t has been summarized (any
+// of its sources carries WideName).
+func (st *Store) IsWide(t Tag) bool {
+	for _, s := range st.Sources(t) {
+		if s.Name == WideName {
+			return true
+		}
+	}
+	return false
+}
+
+// clampWidth enforces the width budget on a canonical sorted set,
+// summarizing to one wide source per distinct type when the set is too
+// wide. Summarization is idempotent: a wide set re-summarizes to
+// itself, so repeated unions converge instead of growing.
+func (st *Store) clampWidth(set []Source) []Source {
+	if st.widthBudget <= 0 || len(set) <= st.widthBudget {
+		return set
+	}
+	var out []Source
+	for _, s := range set {
+		if len(out) == 0 || out[len(out)-1].Type != s.Type {
+			out = append(out, Source{Type: s.Type, Name: WideName})
+		}
+	}
+	st.wideN++
+	return out
+}
+
+// intern stores a canonical (sorted, deduplicated) set, degrading it
+// first if it exceeds the width budget.
 func (st *Store) intern(set []Source) Tag {
+	set = st.clampWidth(set)
 	k := key(set)
 	if t, ok := st.index[k]; ok {
 		return t

@@ -1,6 +1,7 @@
 package taint
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -278,5 +279,78 @@ func TestCanonicalInvariant(t *testing.T) {
 				t.Fatalf("duplicate in set: %v", set)
 			}
 		}
+	}
+}
+
+func TestWidthBudgetDegrades(t *testing.T) {
+	st := NewStore()
+	st.SetWidthBudget(4)
+	// Union eight distinct files with one socket: 9 sources > budget 4.
+	tag := Empty
+	for i := 0; i < 8; i++ {
+		tag = st.Union(tag, st.Of(Source{Type: File, Name: fmt.Sprintf("/tmp/f%d", i)}))
+	}
+	tag = st.Union(tag, st.Of(Source{Type: Socket, Name: "10.0.0.1:80"}))
+	set := st.Sources(tag)
+	if len(set) != 2 {
+		t.Fatalf("degraded set = %v, want one wide source per type", set)
+	}
+	want := []Source{{Type: File, Name: WideName}, {Type: Socket, Name: WideName}}
+	for i, s := range want {
+		if set[i] != s {
+			t.Errorf("set[%d] = %v, want %v", i, set[i], s)
+		}
+	}
+	if !st.IsWide(tag) {
+		t.Error("IsWide = false for degraded tag")
+	}
+	// Soundness: type-level membership survives degradation, so
+	// type-keyed warnings cannot be lost.
+	if !st.Has(tag, File) || !st.Has(tag, Socket) {
+		t.Error("type membership lost under degradation")
+	}
+	if st.WideUnions() == 0 {
+		t.Error("WideUnions counter not incremented")
+	}
+}
+
+func TestWidthBudgetConverges(t *testing.T) {
+	st := NewStore()
+	st.SetWidthBudget(2)
+	// Keep unioning fresh sources into an already-wide tag: the tag
+	// must converge to a fixed point, not grow.
+	tag := Empty
+	var prev Tag
+	for i := 0; i < 50; i++ {
+		tag = st.Union(tag, st.Of(Source{Type: File, Name: fmt.Sprintf("f%d", i)}))
+		tag = st.Union(tag, st.Of(Source{Type: Socket, Name: fmt.Sprintf("s%d", i)}))
+		if i > 2 && tag != prev {
+			// After the first degradation, unioning more of the same
+			// types is absorbed: wide ∪ {fresh file} = wide.
+			if i > 3 {
+				t.Fatalf("wide tag did not converge: %s", st.String(tag))
+			}
+		}
+		prev = tag
+	}
+	if got := st.Len(tag); got > 2 {
+		t.Errorf("converged width = %d, want <= 2", got)
+	}
+	// The store's set table stays bounded relative to an unbudgeted
+	// run, which would intern ~100 distinct growing sets.
+	sets, _, _ := st.Stats()
+	if sets > 120 {
+		t.Errorf("interned %d sets; budget failed to bound growth", sets)
+	}
+}
+
+func TestWidthBudgetDisabled(t *testing.T) {
+	st := NewStore()
+	tag := Empty
+	for i := 0; i < 10; i++ {
+		tag = st.Union(tag, st.Of(Source{Type: File, Name: fmt.Sprintf("f%d", i)}))
+	}
+	if st.Len(tag) != 10 || st.IsWide(tag) || st.WideUnions() != 0 {
+		t.Error("unbudgeted store degraded a set")
 	}
 }

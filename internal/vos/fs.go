@@ -86,15 +86,18 @@ func (fs *FS) Listing() []byte {
 
 // Errno values (negated Linux convention: syscalls return -errno).
 const (
-	ENOENT  = 2
-	EBADF   = 9
-	ECHILD  = 10
-	ENOMEM  = 12
-	EACCES  = 13
-	EINVAL  = 22
-	ENFILE  = 23
-	ENOEXEC = 8
-	ECONN   = 111 // ECONNREFUSED
+	ENOENT     = 2
+	EIO        = 5
+	EBADF      = 9
+	ECHILD     = 10
+	ENOMEM     = 12
+	EACCES     = 13
+	EINVAL     = 22
+	ENFILE     = 23
+	EMFILE     = 24
+	ENOEXEC    = 8
+	ECONNABORT = 103 // ECONNABORTED
+	ECONN      = 111 // ECONNREFUSED
 )
 
 func errno(e uint32) uint32 { return -e }

@@ -1,0 +1,49 @@
+package vos
+
+// FaultPoint describes one chaos decision point: a place where the OS
+// consults the fault injector before performing an action on behalf of
+// the guest. The fields identify the action precisely enough for the
+// injector to classify it and to record a reproducible fault log.
+type FaultPoint struct {
+	PID   int
+	Num   uint32 // syscall number (SysRead, SysWrite, ...)
+	Sock  uint32 // socketcall sub-number (SockConnect, ...), 0 otherwise
+	FD    int    // descriptor argument, -1 when the call takes none
+	Path  string // path/endpoint argument, "" when the call takes none
+	Clock uint64 // virtual clock at the decision point
+}
+
+// FaultInjector is the seeded chaos hook consulted by the kernel and
+// the simulated network (package chaos implements it). A nil injector
+// means no fault is ever injected. All methods run on the simulator's
+// single thread; implementations may keep unsynchronized state.
+//
+// Determinism contract: the OS consults the injector at well-defined
+// points in a fixed order for a given guest workload, so an injector
+// whose decisions depend only on its own state (e.g. a seeded PRNG)
+// makes every run under the same plan bit-reproducible.
+type FaultInjector interface {
+	// SyscallFault is consulted before a faultable system call
+	// dispatches. Returning ok makes the call fail immediately with
+	// the (positive) errno, without executing.
+	SyscallFault(fp FaultPoint) (errno uint32, ok bool)
+	// ShortRead may clamp the byte count of a read that is about to
+	// complete; it returns the (possibly reduced) count.
+	ShortRead(fp FaultPoint, want uint32) uint32
+	// ScheduledConnect is consulted when a scheduled inbound
+	// connection is about to be delivered to a guest listener. It may
+	// drop the connection entirely or delay it by extra virtual ticks.
+	ScheduledConnect(clock uint64, addr string) (delay uint64, drop bool)
+	// DropRemote is consulted when a scripted remote peer delivers a
+	// response toward the guest; returning true drops the payload in
+	// flight (the write still appears to succeed on the remote side).
+	DropRemote(addr string, n int) bool
+}
+
+// SetInjector attaches (or, with nil, detaches) a fault injector to
+// the machine and its network. Runs without an injector behave exactly
+// as before the injector API existed.
+func (os *OS) SetInjector(fi FaultInjector) {
+	os.inject = fi
+	os.Net.inject = fi
+}

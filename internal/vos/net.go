@@ -33,10 +33,16 @@ func (c *Conn) Read(n int) []byte {
 }
 
 // Write delivers data to the peer endpoint, invoking the peer's remote
-// script if it has one.
+// script if it has one. A chaos injector may drop a scripted remote's
+// response in flight: the remote sees a successful send, the guest
+// never receives the bytes.
 func (c *Conn) Write(data []byte) int {
 	if c.closed || c.peer == nil || c.peer.closed {
 		return -1
+	}
+	if c.script != nil && c.net != nil && c.net.inject != nil &&
+		c.net.inject.DropRemote(c.RemoteAddr, len(data)) {
+		return len(data)
 	}
 	c.peer.in = append(c.peer.in, data...)
 	if c.peer.script != nil {
@@ -105,6 +111,7 @@ type Network struct {
 	listeners map[string]*Listener
 	scheduled []scheduledConnect
 	connN     int
+	inject    FaultInjector
 }
 
 // NewNetwork returns an empty network with localhost pre-registered.
@@ -197,7 +204,10 @@ func (n *Network) Connect(endpoint string) (*Conn, error) {
 	return nil, fmt.Errorf("vos: connection refused: %s", endpoint)
 }
 
-// Tick fires scheduled remote connections whose time has come.
+// Tick fires scheduled remote connections whose time has come. A
+// chaos injector may delay a delivery (the peer dials later) or drop
+// it entirely (the peer never arrives; a guest blocked in accept
+// eventually surfaces as a structured deadlock outcome).
 func (n *Network) Tick(clock uint64) {
 	rest := n.scheduled[:0]
 	for _, sc := range n.scheduled {
@@ -210,6 +220,17 @@ func (n *Network) Tick(clock uint64) {
 			// Listener not up yet: retry next tick.
 			rest = append(rest, sc)
 			continue
+		}
+		if n.inject != nil {
+			delay, drop := n.inject.ScheduledConnect(clock, sc.addr)
+			if drop {
+				continue
+			}
+			if delay > 0 {
+				sc.at = clock + delay
+				rest = append(rest, sc)
+				continue
+			}
 		}
 		guestSide, remoteSide := n.pair(sc.addr, sc.from)
 		remoteSide.script = sc.script

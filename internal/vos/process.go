@@ -74,8 +74,13 @@ func (p *Process) Clock() uint64 { return p.OS.Clock }
 // it: a new program began).
 func (p *Process) Age() uint64 { return p.OS.Clock - p.StartClock }
 
-// allocFD installs a descriptor at the next free number.
+// allocFD installs a descriptor at the next free number, or returns
+// -1 when the process is at its open-descriptor budget (the caller
+// fails the call with EMFILE).
 func (p *Process) allocFD(fd *FDesc) int {
+	if limit := p.OS.maxOpenFDs(); limit > 0 && len(p.FDs) >= limit {
+		return -1
+	}
 	n := p.nextFD
 	p.nextFD++
 	p.FDs[n] = fd

@@ -17,7 +17,10 @@ type kernel struct {
 	os *OS
 }
 
-// Syscall dispatches on EAX.
+// Syscall dispatches on EAX. When a fault injector is attached, it is
+// consulted first: an injected fault makes the call fail with the
+// injector's errno without executing (the guest observes EIO/ENOMEM/…
+// exactly as it would a real transient failure).
 func (k *kernel) Syscall(cpu *isa.CPU) {
 	p := cpu.Ctx.(*Process)
 	num := cpu.Regs[isa.EAX]
@@ -25,6 +28,56 @@ func (k *kernel) Syscall(cpu *isa.CPU) {
 		cpu.Regs[isa.EBX], cpu.Regs[isa.ECX], cpu.Regs[isa.EDX],
 		cpu.Regs[isa.ESI], cpu.Regs[isa.EDI],
 	}
+	if e, injected := k.injectFault(p, num, args); injected {
+		ret(p, errno(e))
+	} else {
+		k.dispatch(p, num, args)
+	}
+	// Syscall results are kernel-produced values: whatever taint EAX
+	// carried before the call does not describe the result. (The tag
+	// is cleared immediately; calls that complete later fill in the
+	// value, not the tag.)
+	cpu.RegTags[isa.EAX] = taint.Empty
+}
+
+// injectFault asks the attached injector whether this call should fail
+// artificially. Only the calls the chaos layer targets — read, write,
+// open/creat, connect, accept — are offered; everything else always
+// executes.
+func (k *kernel) injectFault(p *Process, num uint32, args [5]uint32) (uint32, bool) {
+	inj := k.os.inject
+	if inj == nil {
+		return 0, false
+	}
+	fp := FaultPoint{PID: p.PID, Num: num, FD: -1, Clock: k.os.Clock}
+	switch num {
+	case SysRead, SysWrite:
+		fp.FD = int(args[0])
+	case SysOpen, SysCreat:
+		fp.Path = p.CPU.Mem.CString(args[0])
+	case SysSocketcall:
+		sub := args[0]
+		if sub != SockConnect && sub != SockAccept {
+			return 0, false
+		}
+		fp.Sock = sub
+		fp.FD = int(p.CPU.Mem.Load32(args[1]))
+	default:
+		return 0, false
+	}
+	return inj.SyscallFault(fp)
+}
+
+// clampRead offers a completing read to the injector, which may turn
+// it into a short read.
+func (k *kernel) clampRead(p *Process, fd int, want uint32) uint32 {
+	if inj := k.os.inject; inj != nil {
+		return inj.ShortRead(FaultPoint{PID: p.PID, Num: SysRead, FD: fd, Clock: k.os.Clock}, want)
+	}
+	return want
+}
+
+func (k *kernel) dispatch(p *Process, num uint32, args [5]uint32) {
 	switch num {
 	case SysExit:
 		k.sysExit(p, args)
@@ -63,11 +116,6 @@ func (k *kernel) Syscall(cpu *isa.CPU) {
 	default:
 		p.CPU.Regs[isa.EAX] = errno(38) // ENOSYS
 	}
-	// Syscall results are kernel-produced values: whatever taint EAX
-	// carried before the call does not describe the result. (The tag
-	// is cleared immediately; calls that complete later fill in the
-	// value, not the tag.)
-	cpu.RegTags[isa.EAX] = taint.Empty
 }
 
 func ret(p *Process, v uint32) { p.CPU.Regs[isa.EAX] = v }
@@ -172,6 +220,12 @@ func (k *kernel) sysOpen(p *Process, args [5]uint32, creat bool) {
 		fd.off = len(f.Data)
 	}
 	n := p.allocFD(fd)
+	if n < 0 {
+		ret(p, errno(EMFILE))
+		sc.Result = errno(EMFILE)
+		p.notifyExit(sc)
+		return
+	}
 	sc.Des = fd
 	sc.FD = n
 	sc.Result = uint32(n)
@@ -266,6 +320,12 @@ func (k *kernel) sysDup(p *Process, args [5]uint32) {
 		return
 	}
 	nn := p.allocFD(fd.clone())
+	if nn < 0 {
+		ret(p, errno(EMFILE))
+		sc.Result = errno(EMFILE)
+		p.notifyExit(sc)
+		return
+	}
 	sc.Result = uint32(nn)
 	ret(p, uint32(nn))
 	p.notifyExit(sc)
@@ -296,7 +356,7 @@ func (k *kernel) sysRead(p *Process, args [5]uint32) {
 			return
 		}
 		avail := p.stdin[p.stdinOff:]
-		nr := int(want)
+		nr := int(k.clampRead(p, n, want))
 		if nr > len(avail) {
 			nr = len(avail)
 		}
@@ -310,7 +370,7 @@ func (k *kernel) sysRead(p *Process, args [5]uint32) {
 			return
 		}
 		avail := fd.file.Data[min(fd.off, len(fd.file.Data)):]
-		nr := int(want)
+		nr := int(k.clampRead(p, n, want))
 		if nr > len(avail) {
 			nr = len(avail)
 		}
@@ -346,7 +406,7 @@ func (k *kernel) recvCommon(p *Process, fd *FDesc, sock *SockInfo, args [5]uint3
 		if !p.notifyEnter(sc) {
 			return true // killed: unblock into the exited state
 		}
-		data := fd.conn.Read(int(want))
+		data := fd.conn.Read(int(k.clampRead(p, -1, want)))
 		p.CPU.Mem.WriteBytes(buf, data)
 		ret(p, uint32(len(data)))
 		sc.Result = uint32(len(data))
@@ -369,6 +429,13 @@ func (k *kernel) sysWrite(p *Process, args [5]uint32) {
 // writeCommon implements writes, shared by write(2) and
 // socketcall(send).
 func (k *kernel) writeCommon(p *Process, fd *FDesc, sock *SockInfo, args [5]uint32, buf, nlen uint32) {
+	// The transfer length is guest-controlled: clamp it before it
+	// reaches the monitor or materializes as a host allocation (a
+	// guest that passes an errno as a length requests ~4 GiB). Like
+	// Linux's MAX_RW_COUNT, the syscall then returns the short count.
+	if nlen > MaxRWCount {
+		nlen = MaxRWCount
+	}
 	sc := &SyscallCtx{
 		Num: SysWrite, Name: "SYS_write", Args: args,
 		Des: fd, Buf: buf, Len: nlen, Sock: sock,
@@ -383,8 +450,7 @@ func (k *kernel) writeCommon(p *Process, fd *FDesc, sock *SockInfo, args [5]uint
 	var res uint32
 	switch fd.Kind {
 	case FDStdout, FDStderr:
-		k.os.Console = append(k.os.Console, data...)
-		p.Stdout = append(p.Stdout, data...)
+		k.os.appendConsole(p, data)
 		res = nlen
 	case FDFile:
 		f := fd.file
@@ -423,6 +489,12 @@ func (k *kernel) sysSocketcall(p *Process, args [5]uint32) {
 			return
 		}
 		n := p.allocFD(&FDesc{Kind: FDSock, Path: "unconnected"})
+		if n < 0 {
+			ret(p, errno(EMFILE))
+			sc.Result = errno(EMFILE)
+			p.notifyExit(sc)
+			return
+		}
 		sc.Result = uint32(n)
 		ret(p, uint32(n))
 		p.notifyExit(sc)
@@ -515,6 +587,13 @@ func (k *kernel) sysSocketcall(p *Process, args [5]uint32) {
 			}
 			l.pending = l.pending[1:]
 			n := p.allocFD(nfd)
+			if n < 0 {
+				conn.Close() // peer observes EOF on the refused connection
+				ret(p, errno(EMFILE))
+				sc.Result = errno(EMFILE)
+				p.notifyExit(sc)
+				return true
+			}
 			sc.Result = uint32(n)
 			ret(p, uint32(n))
 			p.notifyExit(sc)

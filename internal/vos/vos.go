@@ -3,6 +3,7 @@ package vos
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/image"
 	"repro/internal/isa"
@@ -17,7 +18,31 @@ var (
 	ErrDeadlock = errors.New("vos: deadlock — all processes blocked")
 	// ErrBudget means the run exceeded its instruction budget.
 	ErrBudget = errors.New("vos: instruction budget exhausted")
+	// ErrDeadline means the run exceeded its wall-clock deadline.
+	ErrDeadline = errors.New("vos: wall-clock deadline exceeded")
 )
+
+// MaxRWCount caps the byte count of a single read or write syscall,
+// like Linux's MAX_RW_COUNT: a larger request is silently clamped and
+// the syscall returns the short count. The guard matters for writes,
+// where the length is guest-controlled — a guest that passes an errno
+// as a length (write(1, buf, -EIO)) asks for a ~4 GiB transfer, and
+// without the clamp the kernel would materialize that request as host
+// memory. 1 MiB is orders of magnitude above any legitimate corpus
+// transfer.
+const MaxRWCount = 1 << 20
+
+// DefaultMaxConsoleBytes is the console capture budget applied when
+// Options.MaxConsoleBytes is zero. Output past the budget is counted
+// in OS.ConsoleDropped instead of stored, so a guest spinning in a
+// write loop cannot grow host memory without bound.
+const DefaultMaxConsoleBytes = 4 << 20
+
+// DefaultMaxOpenFDs is the per-process descriptor budget applied when
+// Options.MaxOpenFDs is zero. Generous enough for every corpus guest;
+// small enough that a descriptor-leaking guest degrades into EMFILE
+// errors instead of unbounded host memory growth.
+const DefaultMaxOpenFDs = 1024
 
 // Options tune a virtual machine.
 type Options struct {
@@ -26,6 +51,18 @@ type Options struct {
 	// MaxSteps caps total executed instructions across all processes
 	// (a runaway-guest backstop, not a scheduling parameter).
 	MaxSteps uint64
+	// Deadline bounds a Run call in host wall-clock time; when
+	// exceeded, Run returns ErrDeadline. Zero disables the deadline.
+	Deadline time.Duration
+	// MaxOpenFDs caps open descriptors per process; further
+	// allocations fail with EMFILE. Zero selects DefaultMaxOpenFDs;
+	// negative disables the cap.
+	MaxOpenFDs int
+	// MaxConsoleBytes caps the bytes retained in OS.Console (and the
+	// per-process Stdout captures); overflow is counted in
+	// ConsoleDropped. Zero selects DefaultMaxConsoleBytes; negative
+	// disables the cap.
+	MaxConsoleBytes int
 }
 
 func (o *Options) defaults() {
@@ -34,6 +71,12 @@ func (o *Options) defaults() {
 	}
 	if o.MaxSteps == 0 {
 		o.MaxSteps = 50_000_000
+	}
+	if o.MaxOpenFDs == 0 {
+		o.MaxOpenFDs = DefaultMaxOpenFDs
+	}
+	if o.MaxConsoleBytes == 0 {
+		o.MaxConsoleBytes = DefaultMaxConsoleBytes
 	}
 }
 
@@ -51,8 +94,11 @@ type OS struct {
 	Clock      uint64
 	TotalSteps uint64
 
-	// Console accumulates all stdout/stderr writes across processes.
+	// Console accumulates all stdout/stderr writes across processes,
+	// up to the MaxConsoleBytes budget.
 	Console []byte
+	// ConsoleDropped counts console bytes discarded past the budget.
+	ConsoleDropped uint64
 
 	procs map[int]*Process
 	// procList mirrors procs in PID order (PIDs are monotonic and
@@ -63,6 +109,7 @@ type OS struct {
 	nextPID  int
 	opts     Options
 	kern     *kernel
+	inject   FaultInjector
 }
 
 // New creates an empty virtual machine.
@@ -205,11 +252,22 @@ func (os *OS) loadInto(p *Process, f *File) error {
 }
 
 // Run schedules processes round-robin until every process has exited,
-// the instruction budget is exhausted, or a deadlock is detected.
+// the instruction budget is exhausted, the wall-clock deadline passes,
+// or a deadlock is detected.
 func (os *OS) Run() error {
 	idleRounds := 0
 	sps := os.opts.StepsPerSlice
+	var deadline time.Time
+	if os.opts.Deadline > 0 {
+		deadline = time.Now().Add(os.opts.Deadline)
+	}
+	rounds := 0
 	for {
+		// The deadline is a coarse backstop: checking every 64 rounds
+		// (~8k instructions) keeps time.Now off the hot loop.
+		if rounds++; rounds&63 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
+			return ErrDeadline
+		}
 		os.Net.Tick(os.Clock)
 		progressed := false
 		anyAlive := false
@@ -225,13 +283,17 @@ func (os *OS) Run() error {
 				if !p.blockFn() {
 					continue
 				}
-				p.State = Ready
 				p.blockFn = nil
 				progressed = true
 				if !p.Alive() {
-					// The unblocking action terminated it (kill).
+					// The unblocking action terminated it (a monitor
+					// kill delivered to the completing call): the
+					// exited state must survive, or the quantum below
+					// would re-terminate it as a clean exit and
+					// overwrite the kill.
 					continue
 				}
+				p.State = Ready
 			default:
 				anyAlive = true
 			}
@@ -282,6 +344,50 @@ func (os *OS) SetMaxSteps(n uint64) {
 	if n > 0 {
 		os.opts.MaxSteps = n
 	}
+}
+
+// SetDeadline adjusts the wall-clock budget of subsequent Run calls
+// (0 disables it).
+func (os *OS) SetDeadline(d time.Duration) { os.opts.Deadline = d }
+
+// SetMaxOpenFDs adjusts the per-process descriptor budget (0 keeps the
+// current value, negative disables the cap).
+func (os *OS) SetMaxOpenFDs(n int) {
+	if n != 0 {
+		os.opts.MaxOpenFDs = n
+	}
+}
+
+// maxOpenFDs returns the effective per-process descriptor cap, or a
+// negative value when uncapped.
+func (os *OS) maxOpenFDs() int { return os.opts.MaxOpenFDs }
+
+// SetMaxConsoleBytes adjusts the console capture budget (0 keeps the
+// current value, negative disables the cap).
+func (os *OS) SetMaxConsoleBytes(n int) {
+	if n != 0 {
+		os.opts.MaxConsoleBytes = n
+	}
+}
+
+// appendConsole adds guest output to the global console and the
+// process's own capture, honouring the console byte budget: bytes
+// past the budget are counted in ConsoleDropped, not stored, so a
+// guest spinning in a write loop cannot grow host memory without
+// bound.
+func (os *OS) appendConsole(p *Process, data []byte) {
+	if budget := os.opts.MaxConsoleBytes; budget > 0 {
+		room := budget - len(os.Console)
+		if room < 0 {
+			room = 0
+		}
+		if len(data) > room {
+			os.ConsoleDropped += uint64(len(data) - room)
+			data = data[:room]
+		}
+	}
+	os.Console = append(os.Console, data...)
+	p.Stdout = append(p.Stdout, data...)
 }
 
 // RunFor runs until done or approximately n more instructions execute.

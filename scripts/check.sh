@@ -1,6 +1,7 @@
 #!/bin/sh
-# check.sh — the full pre-merge gate: vet, build, unit tests, and the
-# race-detector pass over the parallel corpus runner. `make check`
+# check.sh — the full pre-merge gate: vet, build, unit tests, the
+# race-detector pass over the parallel corpus runner, a seeded chaos
+# sweep, and a fuzz smoke over the chaos plan parser. `make check`
 # invokes this script.
 set -eux
 
@@ -10,3 +11,8 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/corpus -run TestParallel
+# Robustness gate: zero-rate identity plus fault containment over the
+# full corpus on a fixed seed (see cmd/hth-bench).
+go run ./cmd/hth-bench -chaos 0xC0FFEE,0.05 -parallel 4 >/dev/null
+# Fuzz smoke: the chaos plan parser must never panic on hostile specs.
+go test -fuzz=FuzzChaos -fuzztime=10s ./internal/chaos
