@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test bench tables chaos
+.PHONY: check test bench tables chaos trace benchgate
 
 # The full pre-merge gate: vet + build + tests + race-detector pass
 # over the parallel corpus runner + seeded chaos sweep + fuzz smoke.
@@ -22,3 +22,16 @@ bench:
 # Regenerate every evaluation table on a 4-wide scenario pool.
 tables:
 	$(GO) run ./cmd/hth-bench -table all -parallel 4
+
+# The observability overhead gate alone (see scripts/benchgate.sh).
+benchgate:
+	sh scripts/benchgate.sh
+
+# Record a trojandetect JSONL event trace, replay it with hth-trace,
+# and diff the summary against the golden — the deterministic
+# end-to-end check of the observer pipeline.
+trace:
+	$(GO) run ./examples/trojandetect -trace /tmp/hth-trojandetect.jsonl >/dev/null
+	$(GO) run ./cmd/hth-trace -replay /tmp/hth-trojandetect.jsonl -summary \
+		| diff -u testdata/trojandetect.trace.golden -
+	@echo "trace replay matches golden"

@@ -29,6 +29,7 @@ import (
 	"runtime"
 	"time"
 
+	hth "repro"
 	"repro/internal/corpus"
 	"repro/internal/report"
 )
@@ -53,10 +54,10 @@ func main() {
 		failures += printTable(id, corpus.RunAll(corpus.ByTable(id), *parallel))
 	}
 	if perf {
-		rows := printPerf()
+		rows, metrics := printPerf()
 		if *jsonOut {
 			path := fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
-			if err := writeBenchJSON(path, rows); err != nil {
+			if err := writeBenchJSON(path, rows, metrics); err != nil {
 				fmt.Fprintf(os.Stderr, "hth-bench: %v\n", err)
 				os.Exit(1)
 			}
@@ -180,17 +181,20 @@ type perfRow struct {
 	TaintFastHits  uint64 `json:"taint_fast_hits"`
 }
 
-func printPerf() []perfRow {
+func printPerf() ([]perfRow, *hth.MetricsSnapshot) {
 	t := &report.Table{
 		Title:  "Section 9: Performance (virtual-machine throughput per monitoring level)",
 		Header: []string{"Workload", "Mode", "Guest instrs", "Wall time", "Slowdown vs bare"},
 	}
+	// One shared metrics registry observes every perf run; its snapshot
+	// lands under "metrics" in BENCH_<date>.json.
+	registry := hth.NewMetrics()
 	var rows []perfRow
 	for _, wl := range corpus.PerfWorkloads() {
 		var bare time.Duration
 		for _, mode := range []corpus.PerfMode{corpus.PerfBare, corpus.PerfNoDataflow, corpus.PerfFull} {
 			start := time.Now()
-			res, err := corpus.RunPerf(wl, mode)
+			res, err := corpus.RunPerfObserved(wl, mode, registry)
 			elapsed := time.Since(start)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "hth-bench: perf %s/%s: %v\n", wl, mode, err)
@@ -221,15 +225,15 @@ func printPerf() []perfRow {
 	fmt.Println(t)
 	fmt.Println("Shape check (paper §9): data-flow tracking dominates the overhead;")
 	fmt.Println("'full' must cost clearly more than 'nodataflow', which costs more than 'bare'.")
-	return rows
+	return rows, registry.Snapshot()
 }
 
 // writeBenchJSON writes (or updates) the dated benchmark report. The
-// tool owns the "date", "host" and "perf" keys; any other top-level
-// keys already in the file — e.g. a hand-captured "go_test_bench"
-// section from `go test -bench` — are preserved, so regenerating the
-// perf sweep does not wipe companion measurements.
-func writeBenchJSON(path string, rows []perfRow) error {
+// tool owns the "date", "host", "perf" and "metrics" keys; any other
+// top-level keys already in the file — e.g. a hand-captured
+// "go_test_bench" section from `go test -bench` — are preserved, so
+// regenerating the perf sweep does not wipe companion measurements.
+func writeBenchJSON(path string, rows []perfRow, metrics *hth.MetricsSnapshot) error {
 	doc := map[string]any{}
 	if old, err := os.ReadFile(path); err == nil {
 		// Best-effort: an unreadable or invalid existing file is
@@ -243,6 +247,7 @@ func writeBenchJSON(path string, rows []perfRow) error {
 		"gomaxprocs": runtime.GOMAXPROCS(0),
 	}
 	doc["perf"] = rows
+	doc["metrics"] = metrics
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

@@ -1,8 +1,11 @@
 // Command hth-trace single-steps a guest program and prints every
 // executed instruction with its taint effects — a debugging lens on
-// exactly what Harrier's Track_DataFlow sees.
+// exactly what Harrier's Track_DataFlow sees — or replays a recorded
+// JSONL event trace (the hth.JSONL observer's output).
 //
 //	hth-trace -in prog.s [-limit 200] [-taint] [arg ...]
+//	hth-trace -replay run.jsonl [-layer vos] [-pid 1] [-kind syscall.enter] [-rule RULE]
+//	hth-trace -replay run.jsonl -summary
 package main
 
 import (
@@ -14,6 +17,7 @@ import (
 
 	hth "repro"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/taint"
 	"repro/internal/vos"
 )
@@ -24,8 +28,37 @@ func main() {
 		limit     = flag.Int("limit", 500, "maximum instructions to trace")
 		showTaint = flag.Bool("taint", false, "print register tags after each instruction")
 		stdin     = flag.String("stdin", "", "guest stdin")
+
+		replayIn  = flag.String("replay", "", "replay a JSONL event trace instead of running a guest")
+		layerName = flag.String("layer", "", "replay: only events from this layer (run|vos|harrier|secpert|chaos)")
+		kindName  = flag.String("kind", "", "replay: only events of this kind (e.g. syscall.enter)")
+		pid       = flag.Int("pid", -1, "replay: only events for this guest pid")
+		rule      = flag.String("rule", "", "replay: only rule.fire/warning events for this rule")
+		summary   = flag.Bool("summary", false, "replay: print per-layer/kind/rule counts instead of events")
 	)
 	flag.Parse()
+	if *replayIn != "" {
+		filter := &replayFilter{rule: *rule}
+		if *layerName != "" {
+			l, ok := obs.LayerByName(*layerName)
+			if !ok {
+				fatalf("unknown layer %q", *layerName)
+			}
+			filter.layer, filter.hasLayer = l, true
+		}
+		if *kindName != "" {
+			k, ok := obs.KindByName(*kindName)
+			if !ok {
+				fatalf("unknown kind %q", *kindName)
+			}
+			filter.kind, filter.hasKind = k, true
+		}
+		if *pid >= 0 {
+			filter.pid, filter.hasPID = int32(*pid), true
+		}
+		replay(*replayIn, filter, *summary)
+		return
+	}
 	if *in == "" {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,156 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// replayFilter selects which replayed events are printed. Zero values
+// select everything.
+type replayFilter struct {
+	layer obs.Layer
+	kind  obs.Kind
+	pid   int32
+	rule  string
+
+	hasLayer bool
+	hasKind  bool
+	hasPID   bool
+}
+
+func (f *replayFilter) match(e obs.Event) bool {
+	if f.hasLayer && e.Layer != f.layer {
+		return false
+	}
+	if f.hasKind && e.Kind != f.kind {
+		return false
+	}
+	if f.hasPID && e.PID != f.pid {
+		return false
+	}
+	if f.rule != "" {
+		switch e.Kind {
+		case obs.KindRuleFire, obs.KindWarning:
+			if e.Str != f.rule {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// replay pretty-prints (or summarizes) a JSONL trace written by the
+// hth.JSONL observer. Only the filtered events are rendered, but the
+// summary always counts the full stream.
+func replay(path string, filter *replayFilter, summary bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer f.Close()
+
+	var (
+		total    uint64
+		byLayer  = map[obs.Layer]uint64{}
+		byKind   = map[obs.Kind]uint64{}
+		byRule   = map[string]uint64{}
+		warnings = map[string]uint64{}
+	)
+	err = obs.ReadJSONL(f, func(e obs.Event) error {
+		total++
+		byLayer[e.Layer]++
+		byKind[e.Kind]++
+		switch e.Kind {
+		case obs.KindRuleFire:
+			byRule[e.Str]++
+		case obs.KindWarning:
+			warnings[e.Str]++
+		}
+		if !summary && filter.match(e) {
+			fmt.Println(renderEvent(e))
+		}
+		return nil
+	})
+	if err != nil {
+		fatalf("replay %s: %v", path, err)
+	}
+	if !summary {
+		return
+	}
+	// The summary is deterministic for a deterministic guest: it never
+	// includes wall-clock operands, and maps print in sorted order.
+	fmt.Printf("events: %d\n", total)
+	fmt.Println("by layer:")
+	ls := make([]obs.Layer, 0, len(byLayer))
+	for l := range byLayer {
+		ls = append(ls, l)
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	for _, l := range ls {
+		fmt.Printf("  %-10s %d\n", l, byLayer[l])
+	}
+	fmt.Println("by kind:")
+	for _, k := range sortedKinds(byKind) {
+		fmt.Printf("  %-14s %d\n", k, byKind[k])
+	}
+	printCounts("rule fires", byRule)
+	printCounts("warnings", warnings)
+}
+
+func sortedKinds(m map[obs.Kind]uint64) []obs.Kind {
+	ks := make([]obs.Kind, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Slice(ks, func(i, j int) bool { return ks[i] < ks[j] })
+	return ks
+}
+
+func printCounts(title string, m map[string]uint64) {
+	if len(m) == 0 {
+		return
+	}
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s:\n", title)
+	for _, n := range names {
+		fmt.Printf("  %-30s %d\n", n, m[n])
+	}
+}
+
+// renderEvent formats one event as a trace line:
+//
+//	seq  vtime layer    kind           pid  payload
+func renderEvent(e obs.Event) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6d %8d %-8s %-14s", e.Seq, e.Time, e.Layer, e.Kind)
+	if e.PID != 0 {
+		fmt.Fprintf(&b, " pid=%d", e.PID)
+	}
+	switch e.Kind {
+	case obs.KindSecText, obs.KindSecAssert:
+		// CLIPS text chunks carry raw bytes, newlines included; show
+		// them quoted on one line.
+		fmt.Fprintf(&b, " %q", e.Str)
+		return b.String()
+	}
+	if e.Num != 0 || e.Num2 != 0 {
+		fmt.Fprintf(&b, " num=%d num2=%d", e.Num, e.Num2)
+	}
+	if e.Str != "" {
+		fmt.Fprintf(&b, " %s", e.Str)
+	}
+	if e.Str2 != "" {
+		fmt.Fprintf(&b, " %s", e.Str2)
+	}
+	return b.String()
+}

@@ -6,12 +6,16 @@
 // This example demonstrates:
 //   - scripted remote peers (the attacker's collection server),
 //   - information-flow warnings with full provenance,
-//   - the continue/kill advisor loop of paper §4.
+//   - the continue/kill advisor loop of paper §4,
+//   - recording a replayable JSONL event trace (-trace FILE; inspect
+//     it with `hth-trace -replay FILE`).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	hth "repro"
 	"repro/internal/secpert"
@@ -73,8 +77,23 @@ func (s *sink) OnData(_ *vos.RemoteConn, data []byte) {
 }
 
 func main() {
+	tracePath := flag.String("trace", "", "write run 1's JSONL event trace to this file")
+	flag.Parse()
+
+	// The trace observer is attached to run 1 only: the observe run is
+	// deterministic end to end, so its trace can be diffed or replayed.
+	var opts []hth.Option
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		opts = append(opts, hth.WithObserver(hth.JSONL(f)))
+	}
+
 	fmt.Println("=== run 1: observe (continue past warnings) ===")
-	stolen := runOnce(nil)
+	stolen := runOnce(nil, opts...)
 	fmt.Printf("bytes that reached the attacker: %d\n\n", stolen)
 
 	fmt.Println("=== run 2: enforce (kill at High) ===")
@@ -82,7 +101,7 @@ func main() {
 	fmt.Printf("bytes that reached the attacker: %d\n", stolen)
 }
 
-func runOnce(advisor secpert.Advisor) int {
+func runOnce(advisor secpert.Advisor, opts ...hth.Option) int {
 	sys := hth.NewSystem()
 	sys.CreateFile("/.pwsafe.dat", []byte("site1:alice:hunter2\n"))
 
@@ -92,8 +111,7 @@ func runOnce(advisor secpert.Advisor) int {
 	})
 	sys.MustInstallSource("/bin/pwsafe", pwunsafe)
 
-	cfg := hth.DefaultConfig()
-	cfg.Advisor = advisor
+	cfg := hth.NewConfig(append(opts, hth.WithAdvisor(advisor))...)
 	res, err := sys.Run(cfg, hth.RunSpec{Path: "/bin/pwsafe", Argv: []string{"/bin/pwsafe", "--exportdb"}})
 	if err != nil {
 		log.Fatal(err)

@@ -69,12 +69,25 @@ type Config struct {
 	// surfaces to the guest as EMFILE. 0 applies the vos default
 	// (vos.DefaultMaxOpenFDs); negative disables the cap.
 	MaxOpenFDs int
+	// Observers receive the run's structured event stream (syscalls,
+	// scheduler decisions, taint samples, rule fires, warnings, chaos
+	// faults). Attach with WithObserver; see JSONL, NewMetrics,
+	// Sampling, CLIPSText. With no observers the bus is disabled and
+	// every publish site costs one nil-check.
+	Observers []Observer
 	// Verbose, when set, receives Secpert's CLIPS-style fire trace
 	// and warning printout as the run progresses.
+	//
+	// Deprecated: attach CLIPSText(w) with WithObserver instead; the
+	// rendered bytes are identical. Verbose keeps working and may be
+	// combined with observers.
 	Verbose io.Writer
 	// TraceAsserts additionally echoes every event fact asserted
 	// into the expert system (the Appendix A.1 transcript style);
 	// requires Verbose.
+	//
+	// Deprecated: attach CLIPSTranscript(w) with WithObserver instead;
+	// the rendered bytes are identical.
 	TraceAsserts bool
 }
 
@@ -123,6 +136,9 @@ type Result struct {
 	Chaos []chaos.Fault
 	// Secpert is the expert-system instance (nil when unmonitored).
 	Secpert *secpert.Secpert
+	// Metrics is a snapshot of the first Metrics observer attached to
+	// the run (nil when none was configured).
+	Metrics *MetricsSnapshot
 }
 
 // MaxSeverity returns the highest warning severity and whether any
@@ -234,77 +250,15 @@ func (s *System) ScheduleConnect(at uint64, addr, from string, script vos.Remote
 // as a *RunError rather than crashing the caller.
 func (s *System) Run(cfg Config, spec RunSpec) (res *Result, err error) {
 	defer contain("run", &res, &err)
-	if cfg.MaxSteps == 0 {
-		cfg.MaxSteps = 50_000_000
-	}
-	s.OS.SetMaxSteps(cfg.MaxSteps)
-	inj := s.applyLimits(cfg)
-
-	var (
-		h   *harrier.Harrier
-		sec *secpert.Secpert
-	)
-	pspec := vos.ProcSpec{
-		Path:  spec.Path,
-		Argv:  spec.Argv,
-		Env:   spec.Env,
-		Stdin: spec.Stdin,
-	}
-	if !cfg.Unmonitored {
-		sec = secpert.New(cfg.Policy, cfg.Advisor)
-		if cfg.Verbose != nil {
-			sec.SetOutput(cfg.Verbose)
-			if cfg.TraceAsserts {
-				sec.SetAssertEcho(cfg.Verbose)
-			}
-		}
-		h = harrier.New(cfg.Monitor, sec)
-		pspec.Monitor = h
-		pspec.Store = h.Store
-	}
-
-	p, err := s.OS.StartProcess(pspec)
+	rc := newRunCore(s, cfg)
+	p, err := rc.start(spec)
 	if err != nil {
+		rc.bus.Close() // nil-safe
 		return nil, &GuestFault{Path: spec.Path, Err: err}
 	}
+	began := time.Now()
 	runErr := s.OS.Run()
-
-	res = &Result{
-		Console:    append([]byte(nil), s.OS.Console...),
-		Process:    p,
-		TotalSteps: s.OS.TotalSteps,
-		RunErr:     runErr,
-	}
-	if h != nil {
-		sec.FinishSession() // commit cross-session history, if any
-		res.Warnings = sec.Warnings()
-		res.Trace = sec.Trace()
-		res.Stats = h.Stats()
-		res.Events = h.EventLog()
-		res.Secpert = sec
-	}
-	if inj != nil {
-		res.Chaos = inj.Faults()
-	}
-	return res, nil
-}
-
-// applyLimits installs the config's resource budgets and optional
-// chaos injector on the OS, returning the injector (nil without a
-// plan).
-func (s *System) applyLimits(cfg Config) *chaos.Injector {
-	if cfg.Deadline > 0 {
-		s.OS.SetDeadline(cfg.Deadline)
-	}
-	if cfg.MaxOpenFDs != 0 {
-		s.OS.SetMaxOpenFDs(cfg.MaxOpenFDs)
-	}
-	if cfg.Chaos == nil {
-		return nil
-	}
-	inj := chaos.New(*cfg.Chaos)
-	s.OS.SetInjector(inj)
-	return inj
+	return rc.finish(p, runErr, time.Since(began)), nil
 }
 
 // Session monitors one or more programs with a single Secpert
@@ -312,40 +266,22 @@ func (s *System) applyLimits(cfg Config) *chaos.Injector {
 // 7: resource provenance observed while monitoring one program
 // informs the analysis of the others.
 type Session struct {
-	sys   *System
-	cfg   Config
-	sec   *secpert.Secpert
-	h     *harrier.Harrier
-	inj   *chaos.Injector
+	rc    *runCore
 	procs []*vos.Process
 }
 
-// NewSession creates a shared monitoring session on this system.
+// NewSession creates a shared monitoring session on this system. The
+// configuration is applied through the same normalized path as
+// System.Run, so budgets, chaos plans, observers, and the deprecated
+// Verbose/TraceAsserts writers all behave identically.
 func (s *System) NewSession(cfg Config) *Session {
-	if cfg.MaxSteps == 0 {
-		cfg.MaxSteps = 50_000_000
-	}
-	s.OS.SetMaxSteps(cfg.MaxSteps)
-	inj := s.applyLimits(cfg)
-	sec := secpert.New(cfg.Policy, cfg.Advisor)
-	if cfg.Verbose != nil {
-		sec.SetOutput(cfg.Verbose)
-	}
-	h := harrier.New(cfg.Monitor, sec)
-	return &Session{sys: s, cfg: cfg, sec: sec, h: h, inj: inj}
+	return &Session{rc: newRunCore(s, cfg)}
 }
 
 // Start launches a program under this session's shared monitor. The
 // program does not run until Wait.
 func (sn *Session) Start(spec RunSpec) (*vos.Process, error) {
-	p, err := sn.sys.OS.StartProcess(vos.ProcSpec{
-		Path:    spec.Path,
-		Argv:    spec.Argv,
-		Env:     spec.Env,
-		Stdin:   spec.Stdin,
-		Monitor: sn.h,
-		Store:   sn.h.Store,
-	})
+	p, err := sn.rc.start(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -361,21 +297,7 @@ func (sn *Session) Wait() (res *Result, err error) {
 	if len(sn.procs) == 0 {
 		return nil, fmt.Errorf("hth: session has no started programs")
 	}
-	runErr := sn.sys.OS.Run()
-	sn.sec.FinishSession()
-	res = &Result{
-		Warnings:   sn.sec.Warnings(),
-		Trace:      sn.sec.Trace(),
-		Console:    append([]byte(nil), sn.sys.OS.Console...),
-		Process:    sn.procs[0],
-		Stats:      sn.h.Stats(),
-		Events:     sn.h.EventLog(),
-		TotalSteps: sn.sys.OS.TotalSteps,
-		RunErr:     runErr,
-		Secpert:    sn.sec,
-	}
-	if sn.inj != nil {
-		res.Chaos = sn.inj.Faults()
-	}
-	return res, nil
+	began := time.Now()
+	runErr := sn.rc.sys.OS.Run()
+	return sn.rc.finish(sn.procs[0], runErr, time.Since(began)), nil
 }

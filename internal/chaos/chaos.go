@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/vos"
 )
 
@@ -105,6 +106,7 @@ type Injector struct {
 	plan   Plan
 	state  uint64 // splitmix64 state
 	faults []Fault
+	bus    *obs.Bus
 }
 
 // New returns an injector for the plan. Two injectors built from equal
@@ -151,9 +153,20 @@ func (in *Injector) roll(k Kind) bool {
 	return float64(in.next()>>11)/(1<<53) < in.plan.Rate
 }
 
+// SetBus attaches the observability bus; every recorded fault is also
+// published as a chaos.fault event.
+func (in *Injector) SetBus(b *obs.Bus) { in.bus = b }
+
 func (in *Injector) record(f Fault) {
 	f.Seq = len(in.faults)
 	in.faults = append(in.faults, f)
+	if in.bus != nil {
+		in.bus.Publish(obs.Event{
+			Time: f.Clock, Layer: obs.LayerChaos, Kind: obs.KindChaosFault,
+			PID: int32(f.PID), Num: uint64(f.Errno), Num2: f.Info,
+			Str: f.Kind.String(), Str2: f.Path,
+		})
+	}
 }
 
 // SyscallFault implements vos.FaultInjector: it may fail a read,

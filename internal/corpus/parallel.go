@@ -1,10 +1,12 @@
 package corpus
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"io"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 
 	hth "repro"
@@ -77,7 +79,13 @@ func runAll(scenarios []*Scenario, parallelism int, extra func(*Scenario, *hth.C
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				out[i] = runScenario(scenarios[i], extra)
+				// Label the worker's profile samples with the scenario,
+				// so a CPU/heap profile of a sweep attributes cost to
+				// individual corpus rows.
+				sc := scenarios[i]
+				pprof.Do(context.Background(),
+					pprof.Labels("hth.scenario", sc.Name, "hth.table", sc.Table),
+					func(context.Context) { out[i] = runScenario(sc, extra) })
 			}
 		}()
 	}

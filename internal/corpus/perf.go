@@ -89,6 +89,14 @@ func PerfWorkloads() []string { return []string{"alu", "mem"} }
 // RunPerf executes the named workload under the given mode and
 // returns the result (inspect TotalSteps for the work done).
 func RunPerf(workload string, mode PerfMode) (*hth.Result, error) {
+	return RunPerfObserved(workload, mode)
+}
+
+// RunPerfObserved is RunPerf with observers attached to the run's
+// event bus — hth-bench feeds every perf run into one shared
+// hth.Metrics registry this way. No observers means a disabled bus,
+// i.e. exactly RunPerf.
+func RunPerfObserved(workload string, mode PerfMode, observers ...hth.Observer) (*hth.Result, error) {
 	sys := hth.NewSystem()
 	switch workload {
 	case "alu":
@@ -105,5 +113,6 @@ func RunPerf(workload string, mode PerfMode) (*hth.Result, error) {
 	case PerfNoDataflow:
 		cfg.Monitor.Dataflow = false
 	}
+	cfg.Observers = observers
 	return sys.Run(cfg, hth.RunSpec{Path: "/bin/" + workload})
 }

@@ -81,6 +81,9 @@ type Engine struct {
 	// assertion ("CLIPS> (assert (template ...))"), reproducing the
 	// paper's Appendix A.1 interaction log.
 	Echo io.Writer
+	// OnFire, when non-nil, observes every rule firing, invoked after
+	// the record joins the fire trace and before the rule action runs.
+	OnFire func(FireRecord)
 
 	templates map[string]*Template
 	rules     []*Rule
@@ -372,6 +375,9 @@ func (e *Engine) Run(limit int) int {
 		e.fireSeq++
 		rec := FireRecord{Seq: e.fireSeq, Rule: a.rule.Name, FactIDs: a.ids}
 		e.trace = append(e.trace, rec)
+		if e.OnFire != nil {
+			e.OnFire(rec)
+		}
 		fmt.Fprintln(e.Out, rec.String())
 		if a.rule.Action != nil {
 			a.rule.Action(&Context{E: e, Rule: a.rule, IDs: a.ids}, a.b)

@@ -24,6 +24,9 @@ import (
 // and other untracked instructions never pay the callback.
 func (h *Harrier) trackDataFlow(c *isa.CPU, s *isa.Span, idx int) {
 	h.stats.Instructions++
+	if h.bus != nil && h.stats.Instructions&(taintSampleQuantum-1) == 0 {
+		h.publishTaintSample(c)
+	}
 	in := &s.Instrs[idx]
 	if c.Shadow == nil {
 		return

@@ -20,9 +20,21 @@ import (
 
 	"repro/internal/events"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/secpert"
 	"repro/internal/taint"
 	"repro/internal/vos"
+)
+
+// Sampling quanta for the hot-path bus publishes: a basic-block
+// counter publishes a bb.roll event each time it crosses a multiple of
+// bbRollQuantum, and the dataflow loop publishes a taint.sample /
+// taint.tlb pair every taintSampleQuantum instrumented instructions.
+// Both checks sit behind the bus nil-check, so a disabled bus pays one
+// branch per site.
+const (
+	bbRollQuantum      = 4096
+	taintSampleQuantum = 1 << 16
 )
 
 // Config selects which Harrier modules run; the defaults enable
@@ -135,6 +147,7 @@ type Harrier struct {
 	natSave map[int]taint.Tag
 
 	stats Stats
+	bus   *obs.Bus
 }
 
 var _ vos.Monitor = (*Harrier)(nil)
@@ -159,6 +172,29 @@ func New(cfg Config, sec *secpert.Secpert) *Harrier {
 
 // Secpert returns the attached expert system.
 func (h *Harrier) Secpert() *secpert.Secpert { return h.sec }
+
+// SetBus attaches the observability bus. BB counter rollovers and
+// periodic taint-substrate samples publish into it.
+func (h *Harrier) SetBus(b *obs.Bus) { h.bus = b }
+
+// publishTaintSample emits the periodic taint-substrate snapshot: the
+// cumulative union/cache counters plus the executing shadow's TLB
+// counters. Out of line so the dataflow hot loop only carries the
+// sampling branch.
+func (h *Harrier) publishTaintSample(c *isa.CPU) {
+	_, unions, hits := h.Store.Stats()
+	h.bus.Publish(obs.Event{
+		Layer: obs.LayerHarrier, Kind: obs.KindTaintSample,
+		Num: unions, Num2: hits,
+	})
+	if c.Shadow != nil {
+		probes, misses := c.Shadow.TLBStats()
+		h.bus.Publish(obs.Event{
+			Layer: obs.LayerHarrier, Kind: obs.KindTaintTLB,
+			Num: probes, Num2: misses,
+		})
+	}
+}
 
 // Stats returns instrumentation counters, including a snapshot of the
 // taint store's interning statistics.
@@ -266,6 +302,13 @@ func (h *Harrier) collectBBFrequency(c *isa.CPU, s *isa.Span, leader int) {
 		e.key, e.ctr = key, ctr
 	}
 	*ctr++
+	if h.bus != nil && uint64(*ctr)&(bbRollQuantum-1) == 0 {
+		h.bus.Publish(obs.Event{
+			Time: p.OS.Clock, Layer: obs.LayerHarrier, Kind: obs.KindBBRoll,
+			PID: int32(p.PID), Num: uint64(key.addr), Num2: uint64(*ctr),
+			Str: key.image,
+		})
+	}
 	if s.Image == p.Path {
 		if p.PID != h.appCachePID {
 			h.flushApp()

@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// countKey keys a string-dimensioned counter without building the
+// flattened "kind.name" string per event (the flat name is produced
+// once, at Snapshot time).
+type countKey struct {
+	kind Kind
+	s    string
+}
+
+// Metrics is a Sink that folds the event stream into a registry of
+// counters, gauges, and histograms: per-syscall counts, rule-fire and
+// warning counts by rule, chaos-fault counts by kind, taint-substrate
+// rates (union-cache and shadow-TLB hit rates), guest instruction
+// throughput, and the taint-set width distribution. It is safe to
+// share one registry across sequential or concurrent runs; counts
+// accumulate.
+type Metrics struct {
+	mu     sync.Mutex
+	kinds  [numKinds]uint64
+	byName map[countKey]uint64
+	gauges map[string]float64
+	hists  map[string][]Bucket
+
+	// Cumulative substrate counters arrive as running totals in
+	// periodic samples; the last sample wins per run and run totals
+	// accumulate at KindRunEnd via the metric events that follow it,
+	// so here we only keep the latest observation.
+	unions, unionHits    uint64
+	tlbProbes, tlbMisses uint64
+	instrs, wallNS       uint64
+}
+
+// NewMetrics builds an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		byName: make(map[countKey]uint64),
+		gauges: make(map[string]float64),
+		hists:  make(map[string][]Bucket),
+	}
+}
+
+// Event folds one event into the registry.
+func (m *Metrics) Event(e Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e.Kind < numKinds {
+		m.kinds[e.Kind]++
+	}
+	switch e.Kind {
+	case KindSyscallEnter, KindRuleFire, KindWarning, KindChaosFault:
+		m.byName[countKey{e.Kind, e.Str}]++
+	case KindMetric:
+		m.gauges[e.Str] = float64(e.Num)
+	case KindMetricBucket:
+		m.bucket(e.Str, e.Num, e.Num2)
+	case KindTaintSample:
+		m.unions, m.unionHits = e.Num, e.Num2
+	case KindTaintTLB:
+		m.tlbProbes, m.tlbMisses = e.Num, e.Num2
+	case KindRunEnd:
+		m.instrs += e.Num
+		m.wallNS += e.Num2
+	}
+}
+
+func (m *Metrics) bucket(name string, value, count uint64) {
+	bs := m.hists[name]
+	for i := range bs {
+		if bs[i].Value == value {
+			bs[i].Count += count
+			return
+		}
+	}
+	m.hists[name] = append(bs, Bucket{Value: value, Count: count})
+}
+
+// Close is a no-op; the registry stays readable after the run.
+func (m *Metrics) Close() error { return nil }
+
+// Bucket is one value of a discrete distribution.
+type Bucket struct {
+	Value uint64 `json:"value"`
+	Count uint64 `json:"count"`
+}
+
+// Snapshot is a point-in-time, JSON-ready view of a Metrics registry.
+type Snapshot struct {
+	// Counters: event counts by kind ("events.syscall.enter") and by
+	// kind+name dimension ("syscall.SYS_execve", "rule.found-exec",
+	// "warning.found-exec", "chaos.read-error").
+	Counters map[string]uint64 `json:"counters"`
+	// Gauges: derived rates and end-of-run samples —
+	// "guest_instrs_per_sec", "taint.union_cache_hit_rate",
+	// "taint.tlb_hit_rate", plus every KindMetric sample by name.
+	Gauges map[string]float64 `json:"gauges"`
+	// Hists: discrete distributions, e.g. "taint.width" (taint-set
+	// width in sources → number of live sets).
+	Hists map[string][]Bucket `json:"hists,omitempty"`
+}
+
+// counterPrefix maps a string-dimensioned kind to its flat-name
+// prefix in Snapshot.Counters.
+var counterPrefix = map[Kind]string{
+	KindSyscallEnter: "syscall.",
+	KindRuleFire:     "rule.",
+	KindWarning:      "warning.",
+	KindChaosFault:   "chaos.",
+}
+
+// Snapshot flattens the registry. The receiver keeps accumulating;
+// the snapshot is an independent copy.
+func (m *Metrics) Snapshot() *Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := &Snapshot{
+		Counters: make(map[string]uint64),
+		Gauges:   make(map[string]float64),
+	}
+	for k, n := range m.kinds {
+		if n != 0 {
+			s.Counters["events."+Kind(k).String()] = n
+		}
+	}
+	for k, n := range m.byName {
+		s.Counters[counterPrefix[k.kind]+k.s] = n
+	}
+	for name, v := range m.gauges {
+		s.Gauges[name] = v
+	}
+	if m.instrs > 0 && m.wallNS > 0 {
+		s.Gauges["guest_instrs_per_sec"] = float64(m.instrs) / (float64(m.wallNS) / 1e9)
+	}
+	if m.unions > 0 {
+		s.Gauges["taint.union_cache_hit_rate"] = float64(m.unionHits) / float64(m.unions)
+	}
+	if m.tlbProbes > 0 {
+		s.Gauges["taint.tlb_hit_rate"] = float64(m.tlbProbes-m.tlbMisses) / float64(m.tlbProbes)
+	}
+	if len(m.hists) > 0 {
+		s.Hists = make(map[string][]Bucket, len(m.hists))
+		for name, bs := range m.hists {
+			cp := make([]Bucket, len(bs))
+			copy(cp, bs)
+			sort.Slice(cp, func(i, j int) bool { return cp[i].Value < cp[j].Value })
+			s.Hists[name] = cp
+		}
+	}
+	return s
+}

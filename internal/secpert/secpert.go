@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/events"
 	"repro/internal/expert"
+	"repro/internal/obs"
 	"repro/internal/taint"
 )
 
@@ -226,6 +227,8 @@ type Secpert struct {
 	// History.commit.
 	sessionWrites []string
 	suppressed    int
+
+	bus *obs.Bus
 }
 
 // New builds a Secpert with the given policy configuration.
@@ -253,6 +256,23 @@ func (s *Secpert) SetOutput(w io.Writer) { s.eng.Out = w }
 // CLIPS transcript style of the paper's Appendix A.1
 // ("CLIPS> (assert (system_call_access ...))").
 func (s *Secpert) SetAssertEcho(w io.Writer) { s.eng.Echo = w }
+
+// SetBus attaches the observability bus: every rule firing publishes a
+// rule.fire event and every warning a warning event. A nil bus
+// detaches both.
+func (s *Secpert) SetBus(b *obs.Bus) {
+	s.bus = b
+	if b == nil {
+		s.eng.OnFire = nil
+		return
+	}
+	s.eng.OnFire = func(rec expert.FireRecord) {
+		b.Publish(obs.Event{
+			Layer: obs.LayerSecpert, Kind: obs.KindRuleFire,
+			Num: uint64(rec.Seq), Str: rec.Rule,
+		})
+	}
+}
 
 // Engine exposes the underlying expert engine (for extension rules).
 func (s *Secpert) Engine() *expert.Engine { return s.eng }
@@ -350,6 +370,12 @@ func (s *Secpert) warn(ctx *expert.Context, cat Category, sev Severity, pid int,
 		return
 	}
 	s.warnings = append(s.warnings, w)
+	if s.bus != nil {
+		s.bus.Publish(obs.Event{
+			Time: t, Layer: obs.LayerSecpert, Kind: obs.KindWarning,
+			PID: int32(pid), Num: uint64(sev), Str: w.Rule, Str2: msg,
+		})
+	}
 	ctx.Printf("Warning [%s] %s\n", sev, msg)
 	if s.advisor.Advise(&w) == Terminate {
 		s.pending = Terminate

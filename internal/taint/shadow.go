@@ -29,6 +29,11 @@ type Shadow struct {
 	// Software TLB: the last page hit. tlbPage == nil means empty.
 	tlbIdx  uint32
 	tlbPage *shadowPage
+
+	// TLB effectiveness counters (hits = probes - misses). Plain
+	// increments on the page-resolution path; read via TLBStats.
+	tlbProbes uint64
+	tlbMisses uint64
 }
 
 const (
@@ -96,14 +101,22 @@ func (sh *Shadow) Store() *Store { return sh.store }
 // page resolves a page index through the TLB, returning nil when the
 // page is unallocated.
 func (sh *Shadow) page(idx uint32) *shadowPage {
+	sh.tlbProbes++
 	if sh.tlbPage != nil && sh.tlbIdx == idx {
 		return sh.tlbPage
 	}
+	sh.tlbMisses++
 	p := sh.pages[idx]
 	if p != nil {
 		sh.tlbIdx, sh.tlbPage = idx, p
 	}
 	return p
+}
+
+// TLBStats reports page-cache effectiveness: total page resolutions
+// and how many fell through to the page map (hits = probes - misses).
+func (sh *Shadow) TLBStats() (probes, misses uint64) {
+	return sh.tlbProbes, sh.tlbMisses
 }
 
 // pageAlloc resolves a page index, allocating the page on demand.

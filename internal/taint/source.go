@@ -375,3 +375,17 @@ func (st *Store) Stats() (sets int, unions, hits uint64) {
 // FastHits reports how many union cache hits were served by the
 // direct-mapped cache without touching the union map.
 func (st *Store) FastHits() uint64 { return st.fastN }
+
+// WidthHistogram returns the distribution of interned set widths:
+// widths[w] = number of distinct live sets carrying exactly w sources.
+// The empty set (tag 0) is excluded.
+func (st *Store) WidthHistogram() map[int]uint64 {
+	out := make(map[int]uint64)
+	for t, set := range st.sets {
+		if t == 0 {
+			continue
+		}
+		out[len(set)]++
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/loader"
+	"repro/internal/obs"
 	"repro/internal/taint"
 )
 
@@ -84,6 +85,13 @@ func (p *Process) allocFD(fd *FDesc) int {
 	n := p.nextFD
 	p.nextFD++
 	p.FDs[n] = fd
+	if bus := p.OS.bus; bus != nil {
+		bus.Publish(obs.Event{
+			Time: p.OS.Clock, Layer: obs.LayerVOS, Kind: obs.KindFDOpen,
+			PID: int32(p.PID), Num: uint64(n),
+			Str: fd.Path, Str2: fd.Kind.String(),
+		})
+	}
 	return n
 }
 
@@ -101,11 +109,25 @@ func (p *Process) block(attempt func() bool) {
 	}
 	p.State = Blocked
 	p.blockFn = attempt
+	if bus := p.OS.bus; bus != nil {
+		bus.Publish(obs.Event{
+			Time: p.OS.Clock, Layer: obs.LayerVOS, Kind: obs.KindSchedBlock,
+			PID: int32(p.PID),
+		})
+	}
 }
 
 // notifyEnter delivers the pre-execution event to the monitor,
-// returning false when the verdict killed the process.
+// returning false when the verdict killed the process. It also
+// publishes the syscall.enter bus event — for every tracked call,
+// monitored or not.
 func (p *Process) notifyEnter(sc *SyscallCtx) bool {
+	if bus := p.OS.bus; bus != nil {
+		bus.Publish(obs.Event{
+			Time: p.OS.Clock, Layer: obs.LayerVOS, Kind: obs.KindSyscallEnter,
+			PID: int32(p.PID), Num: uint64(sc.Num), Str: sc.Name, Str2: sc.Path,
+		})
+	}
 	if p.Monitor == nil {
 		return true
 	}
@@ -117,6 +139,13 @@ func (p *Process) notifyEnter(sc *SyscallCtx) bool {
 }
 
 func (p *Process) notifyExit(sc *SyscallCtx) {
+	if bus := p.OS.bus; bus != nil {
+		bus.Publish(obs.Event{
+			Time: p.OS.Clock, Layer: obs.LayerVOS, Kind: obs.KindSyscallExit,
+			PID: int32(p.PID), Num: uint64(sc.Num), Num2: uint64(sc.Result),
+			Str: sc.Name,
+		})
+	}
 	if p.Monitor != nil {
 		p.Monitor.SyscallExit(p, sc)
 	}
@@ -132,6 +161,19 @@ func (p *Process) terminate(code int32, killed bool, fault error) {
 	p.Killed = killed
 	p.Fault = fault
 	p.CPU.Halt()
+	if bus := p.OS.bus; bus != nil {
+		how := "exit"
+		switch {
+		case killed:
+			how = "kill"
+		case fault != nil:
+			how = "fault"
+		}
+		bus.Publish(obs.Event{
+			Time: p.OS.Clock, Layer: obs.LayerVOS, Kind: obs.KindProcExit,
+			PID: int32(p.PID), Num: uint64(uint32(code)), Str: how,
+		})
+	}
 	// Close descriptors so peers and readers observe EOF and bound
 	// listeners free their addresses.
 	for n, fd := range p.FDs {
@@ -149,6 +191,12 @@ func (p *Process) terminate(code int32, killed bool, fault error) {
 }
 
 func (p *Process) closeFD(n int, fd *FDesc) {
+	if bus := p.OS.bus; bus != nil {
+		bus.Publish(obs.Event{
+			Time: p.OS.Clock, Layer: obs.LayerVOS, Kind: obs.KindFDClose,
+			PID: int32(p.PID), Num: uint64(n), Str: fd.Path,
+		})
+	}
 	switch fd.Kind {
 	case FDSock:
 		if fd.conn != nil {

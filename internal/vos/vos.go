@@ -8,6 +8,7 @@ import (
 	"repro/internal/image"
 	"repro/internal/isa"
 	"repro/internal/loader"
+	"repro/internal/obs"
 	"repro/internal/taint"
 )
 
@@ -110,6 +111,7 @@ type OS struct {
 	opts     Options
 	kern     *kernel
 	inject   FaultInjector
+	bus      *obs.Bus
 }
 
 // New creates an empty virtual machine.
@@ -140,11 +142,22 @@ func (os *OS) Processes() []*Process {
 	return out
 }
 
-// addProc registers a process in the table and the scheduler list.
+// addProc registers a process in the table and the scheduler list
+// (the single entry point for both StartProcess and fork/clone).
 func (os *OS) addProc(p *Process) {
 	os.procs[p.PID] = p
 	os.procList = append(os.procList, p)
+	if os.bus != nil {
+		os.bus.Publish(obs.Event{
+			Time: os.Clock, Layer: obs.LayerVOS, Kind: obs.KindProcSpawn,
+			PID: int32(p.PID), Num: uint64(p.PPID), Str: p.Path,
+		})
+	}
 }
+
+// SetBus attaches (or, with nil, detaches) the observability bus.
+// Kernel, scheduler, and process-lifecycle events publish into it.
+func (os *OS) SetBus(b *obs.Bus) { os.bus = b }
 
 // LiveCount returns the number of non-exited processes.
 func (os *OS) LiveCount() int {
@@ -266,7 +279,7 @@ func (os *OS) Run() error {
 		// The deadline is a coarse backstop: checking every 64 rounds
 		// (~8k instructions) keeps time.Now off the hot loop.
 		if rounds++; rounds&63 == 0 && !deadline.IsZero() && time.Now().After(deadline) {
-			return ErrDeadline
+			return os.schedEnd(ErrDeadline)
 		}
 		os.Net.Tick(os.Clock)
 		progressed := false
@@ -285,6 +298,12 @@ func (os *OS) Run() error {
 				}
 				p.blockFn = nil
 				progressed = true
+				if os.bus != nil {
+					os.bus.Publish(obs.Event{
+						Time: os.Clock, Layer: obs.LayerVOS,
+						Kind: obs.KindSchedUnblock, PID: int32(p.PID),
+					})
+				}
 				if !p.Alive() {
 					// The unblocking action terminated it (a monitor
 					// kill delivered to the completing call): the
@@ -320,10 +339,10 @@ func (os *OS) Run() error {
 			}
 		}
 		if !anyAlive {
-			return nil
+			return os.schedEnd(nil)
 		}
 		if os.TotalSteps > os.opts.MaxSteps {
-			return ErrBudget
+			return os.schedEnd(ErrBudget)
 		}
 		if progressed {
 			idleRounds = 0
@@ -334,9 +353,29 @@ func (os *OS) Run() error {
 		os.Clock += 1000
 		idleRounds++
 		if idleRounds > 20000 {
-			return ErrDeadlock
+			return os.schedEnd(ErrDeadlock)
 		}
 	}
+}
+
+// schedEnd publishes the scheduler outcome and passes err through.
+func (os *OS) schedEnd(err error) error {
+	if os.bus != nil {
+		outcome := "clean"
+		switch err {
+		case ErrDeadlock:
+			outcome = "deadlock"
+		case ErrBudget:
+			outcome = "budget"
+		case ErrDeadline:
+			outcome = "deadline"
+		}
+		os.bus.Publish(obs.Event{
+			Time: os.Clock, Layer: obs.LayerVOS, Kind: obs.KindSchedEnd,
+			Num: os.TotalSteps, Str: outcome,
+		})
+	}
+	return err
 }
 
 // SetMaxSteps adjusts the total instruction budget.

@@ -1,0 +1,119 @@
+package hth
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/harrier"
+	"repro/internal/obs"
+	"repro/internal/secpert"
+)
+
+// Observer consumes the structured event stream of a run: syscall
+// enter/exit with virtual timestamps, scheduler decisions, fd
+// lifecycle, taint-substrate samples, BB counter rollovers, rule
+// fires, warnings, and injected chaos faults. Observers are attached
+// with WithObserver (or Config.Observers) and invoked synchronously in
+// event order; see the obs package for the event taxonomy.
+type Observer = obs.Sink
+
+// Event is one observation delivered to an Observer.
+type Event = obs.Event
+
+// Metrics is the counters/histograms registry sink: attach one with
+// WithObserver(m) and read m.Snapshot() — or Result.Metrics, which
+// snapshots the first attached registry automatically.
+type Metrics = obs.Metrics
+
+// MetricsSnapshot is a JSON-ready view of a Metrics registry.
+type MetricsSnapshot = obs.Snapshot
+
+// JSONL returns an Observer streaming the run trace to w as JSON
+// Lines, one event per line. Replay and filter it with
+// `hth-trace -replay`.
+func JSONL(w io.Writer) Observer { return obs.JSONL(w) }
+
+// NewMetrics returns an empty metrics registry Observer. One registry
+// may be shared across runs; counts accumulate.
+func NewMetrics() *Metrics { return obs.NewMetrics() }
+
+// Sampling decimates the stream in front of sink: only every n-th
+// event is forwarded.
+func Sampling(n int, sink Observer) Observer { return obs.Sampling(n, sink) }
+
+// CLIPSText returns an Observer rendering Secpert's CLIPS-style fire
+// trace and warning printout to w — byte-identical to what the
+// deprecated Config.Verbose writer receives.
+func CLIPSText(w io.Writer) Observer { return obs.CLIPSText(w) }
+
+// CLIPSTranscript is CLIPSText plus the Appendix-A.1 assert echo —
+// byte-identical to Config.Verbose with Config.TraceAsserts set.
+func CLIPSTranscript(w io.Writer) Observer { return obs.CLIPSTranscript(w) }
+
+// Option mutates a Config under construction; see NewConfig.
+type Option func(*Config)
+
+// NewConfig is the successor of DefaultConfig-plus-field-poking: it
+// starts from DefaultConfig and applies the options in order.
+//
+//	cfg := hth.NewConfig(
+//	    hth.WithAdvisor(secpert.KillAtOrAbove(hth.High)),
+//	    hth.WithObserver(hth.JSONL(f)),
+//	)
+func NewConfig(opts ...Option) Config {
+	cfg := DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// WithPolicy sets Secpert's rule configuration.
+func WithPolicy(p secpert.Config) Option {
+	return func(c *Config) { c.Policy = p }
+}
+
+// WithMonitor sets Harrier's instrumentation configuration.
+func WithMonitor(m harrier.Config) Option {
+	return func(c *Config) { c.Monitor = m }
+}
+
+// WithAdvisor sets the continue/kill advisor consulted per warning.
+func WithAdvisor(a secpert.Advisor) Option {
+	return func(c *Config) { c.Advisor = a }
+}
+
+// WithUnmonitored runs the guest without Harrier attached (native
+// speed; the §9 baseline).
+func WithUnmonitored() Option {
+	return func(c *Config) { c.Unmonitored = true }
+}
+
+// WithMaxSteps caps total guest instructions.
+func WithMaxSteps(n uint64) Option {
+	return func(c *Config) { c.MaxSteps = n }
+}
+
+// WithChaos attaches a seeded fault-injection plan to the run.
+func WithChaos(p *chaos.Plan) Option {
+	return func(c *Config) { c.Chaos = p }
+}
+
+// WithDeadline bounds the run's wall-clock time; on expiry the
+// scheduler stops and Result.RunErr is vos.ErrDeadline.
+func WithDeadline(d time.Duration) Option {
+	return func(c *Config) { c.Deadline = d }
+}
+
+// WithMaxOpenFDs caps open descriptors per guest process (negative
+// disables the cap).
+func WithMaxOpenFDs(n int) Option {
+	return func(c *Config) { c.MaxOpenFDs = n }
+}
+
+// WithObserver attaches one or more observers to the run's event bus.
+// Repeated uses accumulate.
+func WithObserver(sinks ...Observer) Option {
+	return func(c *Config) { c.Observers = append(c.Observers, sinks...) }
+}

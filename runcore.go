@@ -1,0 +1,226 @@
+package hth
+
+import (
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/harrier"
+	"repro/internal/obs"
+	"repro/internal/secpert"
+	"repro/internal/vos"
+)
+
+// runCore is the one normalized setup/teardown path behind System.Run
+// and Session: budget application, chaos wiring, the observability
+// bus, monitor+policy construction, and Result assembly each exist
+// exactly once here.
+type runCore struct {
+	sys *System
+	cfg Config
+	bus *obs.Bus
+	sec *secpert.Secpert
+	h   *harrier.Harrier
+	inj *chaos.Injector
+}
+
+// newRunCore normalizes the configuration and arms the system:
+// instruction/wall/descriptor budgets, the event bus (attached to
+// every layer, or detached when no observers are configured), the
+// chaos injector, and — unless Unmonitored — a fresh Secpert+Harrier
+// pair with both the legacy Verbose/TraceAsserts writers and the bus
+// text taps wired.
+func newRunCore(s *System, cfg Config) *runCore {
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 50_000_000
+	}
+	rc := &runCore{sys: s, cfg: cfg}
+	os := s.OS
+	os.SetMaxSteps(cfg.MaxSteps)
+	if len(cfg.Observers) > 0 {
+		rc.bus = obs.NewBus(cfg.Observers...)
+		rc.bus.SetClock(func() uint64 { return os.Clock })
+	}
+	os.SetBus(rc.bus) // nil detaches a previous run's bus
+	if cfg.Deadline > 0 {
+		os.SetDeadline(cfg.Deadline)
+	}
+	if cfg.MaxOpenFDs != 0 {
+		os.SetMaxOpenFDs(cfg.MaxOpenFDs)
+	}
+	if cfg.Chaos != nil {
+		rc.inj = chaos.New(*cfg.Chaos)
+		rc.inj.SetBus(rc.bus)
+		os.SetInjector(rc.inj)
+	}
+	if !cfg.Unmonitored {
+		rc.sec = secpert.New(cfg.Policy, cfg.Advisor)
+		rc.wireSecpert()
+		rc.h = harrier.New(cfg.Monitor, rc.sec)
+		rc.h.SetBus(rc.bus)
+	}
+	return rc
+}
+
+// wireSecpert connects the expert engine's text output. The deprecated
+// Config.Verbose/TraceAsserts writers and the bus taps receive the
+// same Write calls through one MultiWriter, which is what makes the
+// CLIPSText/CLIPSTranscript sinks byte-identical to the legacy path.
+func (rc *runCore) wireSecpert() {
+	var out, echo io.Writer
+	if rc.cfg.Verbose != nil {
+		out = rc.cfg.Verbose
+		if rc.cfg.TraceAsserts {
+			echo = rc.cfg.Verbose
+		}
+	}
+	if rc.bus != nil {
+		out = tee(out, obs.TextWriter(rc.bus, obs.LayerSecpert, obs.KindSecText))
+		echo = tee(echo, obs.TextWriter(rc.bus, obs.LayerSecpert, obs.KindSecAssert))
+		rc.sec.SetBus(rc.bus)
+	}
+	if out != nil {
+		rc.sec.SetOutput(out)
+	}
+	if echo != nil {
+		rc.sec.SetAssertEcho(echo)
+	}
+}
+
+func tee(a, b io.Writer) io.Writer {
+	if a == nil {
+		return b
+	}
+	return io.MultiWriter(a, b)
+}
+
+// start launches one program under this core's monitor (if any),
+// publishing the run.start event.
+func (rc *runCore) start(spec RunSpec) (*vos.Process, error) {
+	if rc.bus != nil {
+		rc.bus.Publish(obs.Event{
+			Layer: obs.LayerRun, Kind: obs.KindRunStart, Str: spec.Path,
+		})
+	}
+	pspec := vos.ProcSpec{
+		Path:  spec.Path,
+		Argv:  spec.Argv,
+		Env:   spec.Env,
+		Stdin: spec.Stdin,
+	}
+	if rc.h != nil {
+		pspec.Monitor = rc.h
+		pspec.Store = rc.h.Store
+	}
+	return rc.sys.OS.StartProcess(pspec)
+}
+
+// finish assembles the Result, publishes the end-of-run metric events,
+// closes the bus, and snapshots the first attached Metrics registry
+// into Result.Metrics.
+func (rc *runCore) finish(root *vos.Process, runErr error, wall time.Duration) *Result {
+	os := rc.sys.OS
+	res := &Result{
+		Console:    append([]byte(nil), os.Console...),
+		Process:    root,
+		TotalSteps: os.TotalSteps,
+		RunErr:     runErr,
+	}
+	if rc.h != nil {
+		rc.sec.FinishSession() // commit cross-session history, if any
+		res.Warnings = rc.sec.Warnings()
+		res.Trace = rc.sec.Trace()
+		res.Stats = rc.h.Stats()
+		res.Events = rc.h.EventLog()
+		res.Secpert = rc.sec
+	}
+	if rc.inj != nil {
+		res.Chaos = rc.inj.Faults()
+	}
+	if rc.bus != nil {
+		rc.publishRunEnd(runErr, wall)
+		rc.bus.Close()
+		if ms := obs.FindMetrics(rc.cfg.Observers); len(ms) > 0 {
+			res.Metrics = ms[0].Snapshot()
+		}
+	}
+	return res
+}
+
+// publishRunEnd emits the end-of-run snapshot: a final taint-substrate
+// sample, the shadow-TLB totals across the process tree, the taint-set
+// width distribution, Harrier's instrumentation counters, and the
+// closing run.end event. Everything except the wall-clock operand of
+// run.end is a deterministic function of the guest execution.
+func (rc *runCore) publishRunEnd(runErr error, wall time.Duration) {
+	os := rc.sys.OS
+	if rc.h != nil {
+		_, unions, hits := rc.h.Store.Stats()
+		rc.bus.Publish(obs.Event{
+			Layer: obs.LayerHarrier, Kind: obs.KindTaintSample,
+			Num: unions, Num2: hits,
+		})
+		var probes, misses uint64
+		for _, p := range os.Processes() {
+			if sh := p.CPU.Shadow; sh != nil {
+				pr, mi := sh.TLBStats()
+				probes += pr
+				misses += mi
+			}
+		}
+		if probes > 0 {
+			rc.bus.Publish(obs.Event{
+				Layer: obs.LayerHarrier, Kind: obs.KindTaintTLB,
+				Num: probes, Num2: misses,
+			})
+		}
+		widths := rc.h.Store.WidthHistogram()
+		ws := make([]int, 0, len(widths))
+		for w := range widths {
+			ws = append(ws, w)
+		}
+		sort.Ints(ws)
+		for _, w := range ws {
+			rc.bus.Publish(obs.Event{
+				Layer: obs.LayerRun, Kind: obs.KindMetricBucket,
+				Str: "taint.width", Num: uint64(w), Num2: widths[w],
+			})
+		}
+		st := rc.h.Stats()
+		for _, g := range [...]struct {
+			name string
+			v    uint64
+		}{
+			{"harrier.instructions", st.Instructions},
+			{"harrier.blocks", st.Blocks},
+			{"harrier.access_events", st.AccessEvents},
+			{"harrier.io_events", st.IOEvents},
+		} {
+			rc.bus.Publish(obs.Event{
+				Layer: obs.LayerRun, Kind: obs.KindMetric,
+				Str: g.name, Num: g.v,
+			})
+		}
+	}
+	rc.bus.Publish(obs.Event{
+		Layer: obs.LayerRun, Kind: obs.KindRunEnd,
+		Num: os.TotalSteps, Num2: uint64(wall.Nanoseconds()),
+		Str: runOutcome(runErr),
+	})
+}
+
+// runOutcome names a scheduler outcome for run.end events.
+func runOutcome(err error) string {
+	switch err {
+	case nil:
+		return "clean"
+	case vos.ErrDeadlock:
+		return "deadlock"
+	case vos.ErrBudget:
+		return "budget"
+	case vos.ErrDeadline:
+		return "deadline"
+	}
+	return "error"
+}

@@ -16,3 +16,10 @@ go test -race ./internal/corpus -run TestParallel
 go run ./cmd/hth-bench -chaos 0xC0FFEE,0.05 -parallel 4 >/dev/null
 # Fuzz smoke: the chaos plan parser must never panic on hostile specs.
 go test -fuzz=FuzzChaos -fuzztime=10s ./internal/chaos
+# Observability overhead gate: the disabled event bus must stay one
+# nil-check per publish site — no hot-path allocations, no gross
+# throughput regression (see scripts/benchgate.sh).
+sh scripts/benchgate.sh
+# Trace replay gate: a recorded trojandetect run must replay into the
+# golden summary (determinism of the JSONL observer end to end).
+make trace
