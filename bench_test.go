@@ -58,11 +58,11 @@ func BenchmarkMacroTicTacToe(b *testing.B)        { benchTable(b, "M3") }
 // reporting guest instructions per second so the three modes'
 // slowdown factors can be compared (the paper's Table-3-style shape:
 // dataflow dominates the overhead).
-func benchPerf(b *testing.B, workload string, mode corpus.PerfMode) {
+func benchPerf(b *testing.B, workload string, mode corpus.PerfMode, tweak func(*hth.Config)) {
 	b.ReportAllocs()
 	var steps uint64
 	for i := 0; i < b.N; i++ {
-		res, err := corpus.RunPerf(workload, mode)
+		res, err := corpus.RunPerfWith(workload, mode, tweak)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -73,15 +73,25 @@ func benchPerf(b *testing.B, workload string, mode corpus.PerfMode) {
 	b.ReportMetric(instrPerOp*float64(b.N)/b.Elapsed().Seconds(), "guest-instrs/s")
 }
 
-func BenchmarkPerfALUBare(b *testing.B)       { benchPerf(b, "alu", corpus.PerfBare) }
-func BenchmarkPerfALUNoDataflow(b *testing.B) { benchPerf(b, "alu", corpus.PerfNoDataflow) }
+// interpTier pins every block to the interpreter tier, the
+// pre-tiering configuration the summary tier is A/B-measured against.
+func interpTier(cfg *hth.Config) { cfg.Monitor.PromoteThreshold = 0 }
+
+func BenchmarkPerfALUBare(b *testing.B)       { benchPerf(b, "alu", corpus.PerfBare, nil) }
+func BenchmarkPerfALUNoDataflow(b *testing.B) { benchPerf(b, "alu", corpus.PerfNoDataflow, nil) }
 func BenchmarkPerfALUFullDataflow(b *testing.B) {
-	benchPerf(b, "alu", corpus.PerfFull)
+	benchPerf(b, "alu", corpus.PerfFull, nil)
 }
-func BenchmarkPerfMemBare(b *testing.B)       { benchPerf(b, "mem", corpus.PerfBare) }
-func BenchmarkPerfMemNoDataflow(b *testing.B) { benchPerf(b, "mem", corpus.PerfNoDataflow) }
+func BenchmarkPerfALUInterpDataflow(b *testing.B) {
+	benchPerf(b, "alu", corpus.PerfFull, interpTier)
+}
+func BenchmarkPerfMemBare(b *testing.B)       { benchPerf(b, "mem", corpus.PerfBare, nil) }
+func BenchmarkPerfMemNoDataflow(b *testing.B) { benchPerf(b, "mem", corpus.PerfNoDataflow, nil) }
 func BenchmarkPerfMemFullDataflow(b *testing.B) {
-	benchPerf(b, "mem", corpus.PerfFull)
+	benchPerf(b, "mem", corpus.PerfFull, nil)
+}
+func BenchmarkPerfMemInterpDataflow(b *testing.B) {
+	benchPerf(b, "mem", corpus.PerfFull, interpTier)
 }
 
 // BenchmarkFigure3BBAttribution exercises the application↔shared

@@ -5,6 +5,7 @@ import (
 	"os"
 	"strings"
 
+	hth "repro"
 	"repro/internal/chaos"
 	"repro/internal/corpus"
 	"repro/internal/report"
@@ -19,6 +20,10 @@ import (
 //  2. Under a fault-injecting plan, every scenario still ends in a
 //     structured outcome: a result or an error value, never an escaped
 //     panic, hang, or crash of the sweep itself.
+//  3. The tiered taint engine stays signature-identical to the
+//     interpreter tier under the same active fault plan: injected
+//     faults perturb guest control flow, and both tiers must track the
+//     perturbed execution to bit-identical detections.
 //
 // Returns the number of violated guarantees (0 = pass).
 func runChaos(spec string, parallelism int) int {
@@ -84,5 +89,27 @@ func runChaos(spec string, parallelism int) int {
 	if escapes > 0 {
 		failures++
 	}
+
+	// Guarantee 3: tier identity under the active plan. Fault streams
+	// derive from the scenario name alone, so both sweeps see the same
+	// injections and any signature delta is a tier divergence.
+	threshold := func(n int) func(*corpus.Scenario, *hth.Config) {
+		return func(_ *corpus.Scenario, cfg *hth.Config) { cfg.Monitor.PromoteThreshold = n }
+	}
+	interp := corpus.SweepSignature(corpus.RunAllChaosWith(scenarios, parallelism, plan, threshold(0)))
+	tiered := corpus.SweepSignature(corpus.RunAllChaosWith(scenarios, parallelism, plan, threshold(1)))
+	tierDiverged := 0
+	for i := range interp {
+		if interp[i] != tiered[i] {
+			fmt.Printf("tier divergence under faults:\n  interpreter %s\n  tiered      %s\n",
+				interp[i], tiered[i])
+			tierDiverged++
+		}
+	}
+	if tierDiverged > 0 {
+		failures++
+	}
+	fmt.Printf("tier identity under faults: %d/%d scenarios bit-identical across tiers\n",
+		len(interp)-tierDiverged, len(interp))
 	return failures
 }

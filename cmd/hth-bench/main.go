@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	hth "repro"
@@ -39,34 +40,82 @@ func main() {
 	parallel := flag.Int("parallel", 1, "scenario worker-pool width (0 = GOMAXPROCS)")
 	jsonOut := flag.Bool("json", false, "write perf measurements to BENCH_<date>.json")
 	chaosSpec := flag.String("chaos", "", "run the fault-injection gate with plan \"seed,rate[,kind...]\"")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
 	flag.Parse()
 
-	if *chaosSpec != "" {
-		if runChaos(*chaosSpec, *parallel) > 0 {
-			os.Exit(1)
+	stopProfiles := startProfiles(*cpuProfile, *memProfile)
+	code := run(*table, *parallel, *jsonOut, *chaosSpec)
+	stopProfiles()
+	if code != 0 {
+		os.Exit(code)
+	}
+}
+
+func run(table string, parallel int, jsonOut bool, chaosSpec string) int {
+	if chaosSpec != "" {
+		if runChaos(chaosSpec, parallel) > 0 {
+			return 1
 		}
-		return
+		return 0
 	}
 
-	ids, perf := resolve(*table)
+	ids, perf := resolve(table)
 	failures := 0
 	for _, id := range ids {
-		failures += printTable(id, corpus.RunAll(corpus.ByTable(id), *parallel))
+		failures += printTable(id, corpus.RunAll(corpus.ByTable(id), parallel))
 	}
 	if perf {
 		rows, metrics := printPerf()
-		if *jsonOut {
+		if jsonOut {
 			path := fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
 			if err := writeBenchJSON(path, rows, metrics); err != nil {
 				fmt.Fprintf(os.Stderr, "hth-bench: %v\n", err)
-				os.Exit(1)
+				return 1
 			}
 			fmt.Printf("wrote %s\n", path)
 		}
 	}
 	if failures > 0 {
 		fmt.Printf("\n%d row(s) diverged from the paper.\n", failures)
-		os.Exit(1)
+		return 1
+	}
+	return 0
+}
+
+// startProfiles arms the requested pprof outputs and returns the
+// flush function main runs before exiting. Profiling failures are
+// fatal: a silently missing profile defeats the point of asking for
+// one.
+func startProfiles(cpuPath, memPath string) func() {
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hth-bench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hth-bench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	return func() {
+		if cpuPath != "" {
+			pprof.StopCPUProfile()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hth-bench: -memprofile: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live heap before sampling
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hth-bench: -memprofile: %v\n", err)
+				os.Exit(2)
+			}
+		}
 	}
 }
 
@@ -179,12 +228,20 @@ type perfRow struct {
 	TaintUnions    uint64 `json:"taint_unions"`
 	TaintUnionHits uint64 `json:"taint_union_hits"`
 	TaintFastHits  uint64 `json:"taint_fast_hits"`
+
+	// Tiered taint engine statistics (zero outside full mode): blocks
+	// promoted to compiled summaries, blocks pinned unmodelable, and
+	// the fraction of all block entries served by the summary tier.
+	TierPromoted uint64  `json:"tier_promoted,omitempty"`
+	TierPinned   uint64  `json:"tier_pinned,omitempty"`
+	TierHits     uint64  `json:"tier_hits,omitempty"`
+	TierHitRate  float64 `json:"tier_hit_rate,omitempty"`
 }
 
 func printPerf() ([]perfRow, *hth.MetricsSnapshot) {
 	t := &report.Table{
 		Title:  "Section 9: Performance (virtual-machine throughput per monitoring level)",
-		Header: []string{"Workload", "Mode", "Guest instrs", "Wall time", "Slowdown vs bare"},
+		Header: []string{"Workload", "Mode", "Guest instrs", "Wall time", "Slowdown vs bare", "Tier hits"},
 	}
 	// One shared metrics registry observes every perf run; its snapshot
 	// lands under "metrics" in BENCH_<date>.json.
@@ -207,8 +264,18 @@ func printPerf() ([]perfRow, *hth.MetricsSnapshot) {
 			if bare > 0 {
 				slow = fmt.Sprintf("%.2fx", float64(elapsed)/float64(bare))
 			}
+			// Summary-tier share of all block entries: how much of the
+			// run the compiled fast path served.
+			hitRate := 0.0
+			if res.Stats.Blocks > 0 {
+				hitRate = float64(res.Stats.TierHits) / float64(res.Stats.Blocks)
+			}
+			tier := "—"
+			if res.Stats.TierPromoted+res.Stats.TierPinned > 0 {
+				tier = fmt.Sprintf("%.1f%%", 100*hitRate)
+			}
 			t.Add(wl, mode.String(), fmt.Sprint(res.TotalSteps),
-				elapsed.Round(time.Microsecond).String(), slow)
+				elapsed.Round(time.Microsecond).String(), slow, tier)
 			rows = append(rows, perfRow{
 				Workload:       wl,
 				Mode:           mode.String(),
@@ -219,6 +286,10 @@ func printPerf() ([]perfRow, *hth.MetricsSnapshot) {
 				TaintUnions:    res.Stats.TaintUnions,
 				TaintUnionHits: res.Stats.TaintUnionHits,
 				TaintFastHits:  res.Stats.TaintFastHits,
+				TierPromoted:   res.Stats.TierPromoted,
+				TierPinned:     res.Stats.TierPinned,
+				TierHits:       res.Stats.TierHits,
+				TierHitRate:    hitRate,
 			})
 		}
 	}

@@ -38,6 +38,14 @@ func RunAll(scenarios []*Scenario, parallelism int) []RunOutcome {
 	return runAll(scenarios, parallelism, nil)
 }
 
+// RunAllWith is RunAll with a per-scenario configuration hook, applied
+// after the scenario's own tweaks. It is how sweeps pin engine knobs
+// corpus rows do not own — the tier differential harness runs the same
+// corpus twice with opposite PromoteThreshold values this way.
+func RunAllWith(scenarios []*Scenario, parallelism int, tweak func(*Scenario, *hth.Config)) []RunOutcome {
+	return runAll(scenarios, parallelism, tweak)
+}
+
 // chaosMaxSteps bounds guest execution during fault-injecting sweeps:
 // an injected error can send a guest's retry loop spinning, and the
 // run must become a structured vos.ErrBudget outcome quickly instead
@@ -55,11 +63,22 @@ const chaosMaxSteps = 2_000_000
 // RunAll. Fault-injecting plans additionally tighten the step budget
 // to chaosMaxSteps.
 func RunAllChaos(scenarios []*Scenario, parallelism int, plan chaos.Plan) []RunOutcome {
+	return RunAllChaosWith(scenarios, parallelism, plan, nil)
+}
+
+// RunAllChaosWith is RunAllChaos with an additional per-scenario
+// configuration hook, applied after the chaos wiring. The chaos gate
+// uses it to assert that the tiered and interpreter taint engines
+// stay signature-identical under an active fault plan.
+func RunAllChaosWith(scenarios []*Scenario, parallelism int, plan chaos.Plan, tweak func(*Scenario, *hth.Config)) []RunOutcome {
 	return runAll(scenarios, parallelism, func(sc *Scenario, cfg *hth.Config) {
 		derived := plan.Derive(sc.Name)
 		cfg.Chaos = &derived
 		if plan.Rate > 0 && (cfg.MaxSteps == 0 || cfg.MaxSteps > chaosMaxSteps) {
 			cfg.MaxSteps = chaosMaxSteps
+		}
+		if tweak != nil {
+			tweak(sc, cfg)
 		}
 	})
 }

@@ -97,6 +97,13 @@ func RunPerf(workload string, mode PerfMode) (*hth.Result, error) {
 // hth.Metrics registry this way. No observers means a disabled bus,
 // i.e. exactly RunPerf.
 func RunPerfObserved(workload string, mode PerfMode, observers ...hth.Observer) (*hth.Result, error) {
+	return RunPerfWith(workload, mode, nil, observers...)
+}
+
+// RunPerfWith is RunPerfObserved with a configuration hook applied
+// just before the run — the tier A/B benchmarks pin PromoteThreshold
+// through it without the perf workloads leaking out of this package.
+func RunPerfWith(workload string, mode PerfMode, tweak func(*hth.Config), observers ...hth.Observer) (*hth.Result, error) {
 	sys := hth.NewSystem()
 	switch workload {
 	case "alu":
@@ -114,5 +121,8 @@ func RunPerfObserved(workload string, mode PerfMode, observers ...hth.Observer) 
 		cfg.Monitor.Dataflow = false
 	}
 	cfg.Observers = observers
+	if tweak != nil {
+		tweak(&cfg)
+	}
 	return sys.Run(cfg, hth.RunSpec{Path: "/bin/" + workload})
 }

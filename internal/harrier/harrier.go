@@ -34,7 +34,8 @@ import (
 // branch per site.
 const (
 	bbRollQuantum      = 4096
-	taintSampleQuantum = 1 << 16
+	taintSampleShift   = 16
+	taintSampleQuantum = 1 << taintSampleShift
 )
 
 // Config selects which Harrier modules run; the defaults enable
@@ -59,15 +60,24 @@ type Config struct {
 	// taint.Store.SetWidthBudget). 0 = unlimited. Degradation is an
 	// over-approximation: type-keyed warnings are never lost.
 	TagWidthBudget int
+	// PromoteThreshold is the tiered taint engine's promotion point: a
+	// basic block whose frequency counter reaches it is compiled into a
+	// dataflow summary applied in one call per entry instead of one
+	// OnInstr dispatch per instruction (see summary.go / tier.go).
+	// 0 disables tiering — every block stays in the interpreter tier.
+	// Tiering requires both Dataflow and BBFrequency; detections and
+	// reported tag sets are bit-identical across tiers.
+	PromoteThreshold int
 }
 
 // DefaultConfig enables all modules.
 func DefaultConfig() Config {
 	return Config{
-		Dataflow:        true,
-		BBFrequency:     true,
-		CloneRateWindow: 20_000,
-		KeepEventLog:    true,
+		Dataflow:         true,
+		BBFrequency:      true,
+		CloneRateWindow:  20_000,
+		KeepEventLog:     true,
+		PromoteThreshold: 64,
 	}
 }
 
@@ -95,6 +105,14 @@ type Stats struct {
 	Blocks       uint64 // basic-block entries counted
 	AccessEvents uint64 // resource-access events sent to Secpert
 	IOEvents     uint64 // I/O events sent to Secpert
+
+	// Tiered taint engine counters (see tier.go). TierHits is included
+	// in Blocks: a summary application counts the block entry exactly
+	// as the interpreter tier would.
+	TierPromoted uint64 // blocks compiled into summaries
+	TierPinned   uint64 // blocks found unmodelable, pinned to interpreter
+	TierDemoted  uint64 // summaries dropped by execve invalidation
+	TierHits     uint64 // block entries served by a summary
 
 	TaintSets       int    // distinct source sets interned
 	TaintUnions     uint64 // union operations performed
@@ -137,6 +155,11 @@ type Harrier struct {
 	appCachePID int
 	appCacheKey bbKey
 
+	// tierThreshold caches Config.PromoteThreshold as the counter's
+	// type, non-zero only when the config combination supports tiering
+	// (Dataflow + BBFrequency). One int64 compare per block entry.
+	tierThreshold int64
+
 	cloneCount int64
 	cloneTimes []uint64
 	memBytes   int64 // total heap growth across the tree (SYS_brk)
@@ -157,7 +180,7 @@ var _ vos.Monitor = (*Harrier)(nil)
 func New(cfg Config, sec *secpert.Secpert) *Harrier {
 	st := taint.NewStore()
 	st.SetWidthBudget(cfg.TagWidthBudget)
-	return &Harrier{
+	h := &Harrier{
 		Store:       st,
 		cfg:         cfg,
 		sec:         sec,
@@ -168,6 +191,10 @@ func New(cfg Config, sec *secpert.Secpert) *Harrier {
 		natSave:     make(map[int]taint.Tag),
 		appCachePID: -1,
 	}
+	if cfg.Dataflow && cfg.BBFrequency && cfg.PromoteThreshold > 0 {
+		h.tierThreshold = int64(cfg.PromoteThreshold)
+	}
+	return h
 }
 
 // Secpert returns the attached expert system.
@@ -240,6 +267,9 @@ func (h *Harrier) Started(p *vos.Process) {
 	if h.cfg.BBFrequency {
 		hooks.OnBB = h.collectBBFrequency
 	}
+	if h.tierThreshold > 0 {
+		hooks.OnBBSummary = h.onBBSummary
+	}
 	p.CPU.Hooks = hooks
 }
 
@@ -302,6 +332,13 @@ func (h *Harrier) collectBBFrequency(c *isa.CPU, s *isa.Span, leader int) {
 		e.key, e.ctr = key, ctr
 	}
 	*ctr++
+	// Tier promotion: a hot block with an empty summary slot compiles
+	// exactly once per slot lifetime (failure pins the slot, success
+	// moves subsequent entries onto the OnBBSummary path; an execve
+	// invalidation empties the slot and re-arms the trigger).
+	if h.tierThreshold > 0 && *ctr >= h.tierThreshold && s.BBSummary(leader) == nil {
+		h.maybePromote(c, s, leader, key, ctr)
+	}
 	if h.bus != nil && uint64(*ctr)&(bbRollQuantum-1) == 0 {
 		h.bus.Publish(obs.Event{
 			Time: p.OS.Clock, Layer: obs.LayerHarrier, Kind: obs.KindBBRoll,

@@ -1,0 +1,140 @@
+package harrier
+
+import (
+	"repro/internal/isa"
+	"repro/internal/obs"
+	"repro/internal/vos"
+)
+
+// Tier state machine. Every block starts in the interpreter tier
+// (per-instruction Hooks.OnInstr dispatch). When its frequency
+// counter — the one Collect_BB_Frequency already maintains — reaches
+// Config.PromoteThreshold, the block is compiled once:
+//
+//   - compilable  -> a *blockSummary lands in the span's summary slot
+//     and subsequent entries take the Hooks.OnBBSummary fast path;
+//   - unmodelable -> a tierPinned marker lands in the slot, recording
+//     that compilation was attempted and must not be retried: the
+//     block stays in the interpreter tier permanently.
+//
+// Demotion happens on execve: the process's code map is about to be
+// torn down, so PreExec drops every summary installed on its spans
+// (spans can be shared with a forked parent, which simply re-promotes
+// on its next hot entry — the trigger fires whenever the counter is
+// past the threshold and the slot is empty). Exited processes need no
+// demotion: their spans die with them, and spans shared with live
+// relatives remain valid because spans are immutable.
+
+// tierPinned marks a block whose compilation failed: permanently
+// interpreter-tier, never recompiled (until the slot is dropped).
+type tierPinned struct{}
+
+// blockSummary is an installed summary plus the apply-time context
+// that lets the fast path skip collectBBFrequency entirely: the
+// block's frequency counter, its attribution key, and whether it
+// belongs to the application image.
+type blockSummary struct {
+	Summary
+	owner *Harrier
+	ctr   *int64
+	key   bbKey
+	isApp bool
+}
+
+// maybePromote is the tier transition, called from collectBBFrequency
+// once the counter passes the threshold and the slot is empty.
+// Out of line: the interpreter tier pays one compare per block entry.
+//
+//go:noinline
+func (h *Harrier) maybePromote(c *isa.CPU, s *isa.Span, leader int, key bbKey, ctr *int64) {
+	sum, ok := compileBlock(h.Store, s, leader, h.binTag(s.Image), h.hwTag)
+	if !ok {
+		s.SetBBSummary(leader, tierPinned{})
+		h.stats.TierPinned++
+		return
+	}
+	p := c.Ctx.(*vos.Process)
+	s.SetBBSummary(leader, &blockSummary{
+		Summary: *sum,
+		owner:   h,
+		ctr:     ctr,
+		key:     key,
+		isApp:   s.Image == p.Path,
+	})
+	h.stats.TierPromoted++
+	if h.bus != nil {
+		h.bus.Publish(obs.Event{
+			Time: p.OS.Clock, Layer: obs.LayerHarrier, Kind: obs.KindBBPromote,
+			PID: int32(p.PID), Num: uint64(key.addr), Num2: uint64(len(sum.ops)),
+			Str: key.image,
+		})
+	}
+}
+
+// onBBSummary is the Hooks.OnBBSummary handler: the whole-block fast
+// path. It reproduces exactly what one interpreter-tier traversal of
+// the block performs — the frequency count, the last-app attribution,
+// the instrumented-instruction statistics with their sampling
+// boundary, and the taint transfer — then reports acceptance so the
+// fetch loop suppresses OnBB/OnInstr for the block.
+func (h *Harrier) onBBSummary(c *isa.CPU, s *isa.Span, leader int, summary any) bool {
+	sum, ok := summary.(*blockSummary)
+	if !ok || sum.owner != h || c.Shadow == nil {
+		return false
+	}
+	h.stats.Blocks++
+	h.stats.TierHits++
+	ctr := sum.ctr
+	*ctr++
+	if h.bus != nil && uint64(*ctr)&(bbRollQuantum-1) == 0 {
+		h.publishBBRoll(c, sum, *ctr)
+	}
+	if sum.isApp {
+		p := c.Ctx.(*vos.Process)
+		if p.PID != h.appCachePID {
+			h.flushApp()
+			h.appCachePID = p.PID
+		}
+		h.appCacheKey = sum.key
+	}
+	// Batch-increment the instrumented-instruction counter; publish a
+	// taint sample whenever the batch crosses the same quantum boundary
+	// the per-instruction increment would have hit.
+	old := h.stats.Instructions
+	h.stats.Instructions = old + sum.nData
+	if h.bus != nil && old>>taintSampleShift != h.stats.Instructions>>taintSampleShift {
+		h.publishTaintSample(c)
+	}
+	h.applyOps(c, sum.ops)
+	return true
+}
+
+// publishBBRoll emits the rollover event for a summary-tier counter;
+// out of line to keep the accept path lean.
+//
+//go:noinline
+func (h *Harrier) publishBBRoll(c *isa.CPU, sum *blockSummary, n int64) {
+	p := c.Ctx.(*vos.Process)
+	h.bus.Publish(obs.Event{
+		Time: p.OS.Clock, Layer: obs.LayerHarrier, Kind: obs.KindBBRoll,
+		PID: int32(p.PID), Num: uint64(sum.key.addr), Num2: uint64(n),
+		Str: sum.key.image,
+	})
+}
+
+// PreExec implements vos.PreExecMonitor: execve is about to tear down
+// p's code map, so every summary compiled against its spans is
+// dropped. Summaries owned by this Harrier count as demotions; pinned
+// markers are dropped too (a span surviving via a forked relative may
+// re-attempt compilation — compilation is deterministic, so it pins
+// again).
+func (h *Harrier) PreExec(p *vos.Process) {
+	for _, s := range p.CPU.Code.Spans() {
+		for i := range s.Instrs {
+			if sum, ok := s.BBSummary(i).(*blockSummary); ok && sum.owner == h {
+				h.stats.TierDemoted++
+			}
+		}
+		s.DropSummaries()
+	}
+}

@@ -28,6 +28,14 @@ type Span struct {
 	// consults every cycle, so one byte load replaces a leader-slice
 	// lookup and an opcode-table lookup on the hot path.
 	meta []uint8
+
+	// summaries[i] is the instrumentation layer's compiled summary for
+	// the basic block led by instruction i (nil = none). The slice is
+	// allocated lazily on the first SetBBSummary, so spans that never
+	// promote a block cost one nil pointer. The slots hold opaque
+	// values: the ISA only stores and dispatches them (see
+	// Hooks.OnBBSummary); their meaning belongs to the monitor.
+	summaries []any
 }
 
 // Span meta bits.
@@ -105,6 +113,42 @@ func (s *Span) analyzeBlocks() {
 			s.meta[i] |= metaData
 		}
 	}
+}
+
+// BBSummary returns the compiled summary installed for the block led
+// by instruction i, or nil.
+func (s *Span) BBSummary(i int) any {
+	if s.summaries == nil || i < 0 || i >= len(s.summaries) {
+		return nil
+	}
+	return s.summaries[i]
+}
+
+// SetBBSummary installs (or replaces) the compiled summary for the
+// block led by instruction i. The slot array is allocated on first
+// use.
+func (s *Span) SetBBSummary(i int, v any) {
+	if i < 0 || i >= len(s.Instrs) {
+		return
+	}
+	if s.summaries == nil {
+		s.summaries = make([]any, len(s.Instrs))
+	}
+	s.summaries[i] = v
+}
+
+// DropSummaries discards every installed block summary, returning how
+// many slots were occupied. The monitor calls it when the code the
+// summaries were compiled from is about to be unmapped (execve).
+func (s *Span) DropSummaries() int {
+	n := 0
+	for i, v := range s.summaries {
+		if v != nil {
+			n++
+			s.summaries[i] = nil
+		}
+	}
+	return n
 }
 
 // NumBlocks returns the number of distinct basic blocks in the span.

@@ -53,6 +53,15 @@ type Hooks struct {
 	// OnBB runs once per dynamic basic-block entry, before the leader
 	// instruction. Harrier's Collect_BB_Frequency lives here.
 	OnBB func(c *CPU, s *Span, leaderIdx int)
+	// OnBBSummary is the fast-dispatch point of the tiered taint
+	// engine: when a block entry lands on a leader that carries a
+	// compiled summary (Span.BBSummary), the fetch loop offers it here
+	// instead of calling OnBB. Returning true accepts the block — the
+	// hook has applied the whole block's instrumentation in one call,
+	// and OnBB/OnInstr are suppressed until the next block entry.
+	// Returning false declines (foreign or stale summary) and the
+	// interpreter-tier hooks run as usual.
+	OnBBSummary func(c *CPU, s *Span, leaderIdx int, summary any) bool
 	// OnNativePre/Post bracket host-implemented library routines.
 	// Harrier's short-circuit dataflow (gethostbyname) lives here
 	// (paper §7.2).
@@ -87,6 +96,7 @@ type CPU struct {
 
 	Halted     bool
 	jumped     bool // last instruction transferred control
+	inSummary  bool // current block was accepted by OnBBSummary
 	pcOverride *uint32
 
 	// Sequential-fetch cursor: when the previous instruction fell
@@ -236,11 +246,24 @@ func (c *CPU) Step() error {
 	m := span.meta[idx]
 
 	// Basic-block entry: the instruction is its block's leader, or
-	// control arrived here non-sequentially (paper §7.4).
-	if c.Hooks.OnBB != nil && (m&metaLeader != 0 || c.jumped) {
-		c.Hooks.OnBB(c, span, span.BBLeader[idx])
+	// control arrived here non-sequentially (paper §7.4). A leader
+	// carrying a compiled summary is offered to OnBBSummary first;
+	// acceptance covers the whole block, so the per-instruction hook
+	// below is suppressed until the next entry. Mid-block entries
+	// (computed jumps landing past the leader) never match metaLeader
+	// and always take the interpreter tier.
+	if (m&metaLeader != 0 || c.jumped) && (c.Hooks.OnBB != nil || c.Hooks.OnBBSummary != nil) {
+		c.inSummary = false
+		if m&metaLeader != 0 && span.summaries != nil && c.Hooks.OnBBSummary != nil {
+			if sum := span.summaries[idx]; sum != nil {
+				c.inSummary = c.Hooks.OnBBSummary(c, span, idx, sum)
+			}
+		}
+		if !c.inSummary && c.Hooks.OnBB != nil {
+			c.Hooks.OnBB(c, span, span.BBLeader[idx])
+		}
 	}
-	if c.Hooks.OnInstr != nil && (m&metaData != 0 || !c.Hooks.OnInstrData) {
+	if c.Hooks.OnInstr != nil && (m&metaData != 0 || !c.Hooks.OnInstrData) && !c.inSummary {
 		c.Hooks.OnInstr(c, span, idx)
 	}
 

@@ -119,6 +119,10 @@ const (
 	// multiple of the rollover quantum (see harrier). Num = block
 	// leader address, Num2 = count, Str = owning image.
 	KindBBRoll
+	// KindBBPromote is a hot basic block crossing the tier promotion
+	// threshold and compiling into a dataflow summary. Num = block
+	// leader address, Num2 = compiled op count, Str = owning image.
+	KindBBPromote
 	// KindTaintSample is a periodic snapshot of the taint substrate,
 	// published every sample quantum of instrumented instructions.
 	// Num = union operations, Num2 = union-cache hits, Str2 unused.
@@ -162,6 +166,7 @@ var kindNames = [numKinds]string{
 	KindFDOpen:       "fd.open",
 	KindFDClose:      "fd.close",
 	KindBBRoll:       "bb.roll",
+	KindBBPromote:    "bb.promote",
 	KindTaintSample:  "taint.sample",
 	KindTaintTLB:     "taint.tlb",
 	KindRuleFire:     "rule.fire",

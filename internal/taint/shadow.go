@@ -26,9 +26,14 @@ type Shadow struct {
 	store *Store
 	pages map[uint32]*shadowPage
 
-	// Software TLB: the last page hit. tlbPage == nil means empty.
-	tlbIdx  uint32
-	tlbPage *shadowPage
+	// Software TLB: the last page resolution, including negative
+	// results — an untainted working set resolves every access to
+	// "unallocated", and caching that verdict keeps the hot path off
+	// the page map entirely. pageAlloc refreshes the entry when it
+	// materializes a negatively-cached page.
+	tlbIdx   uint32
+	tlbPage  *shadowPage
+	tlbValid bool
 
 	// TLB effectiveness counters (hits = probes - misses). Plain
 	// increments on the page-resolution path; read via TLBStats.
@@ -102,14 +107,12 @@ func (sh *Shadow) Store() *Store { return sh.store }
 // page is unallocated.
 func (sh *Shadow) page(idx uint32) *shadowPage {
 	sh.tlbProbes++
-	if sh.tlbPage != nil && sh.tlbIdx == idx {
+	if sh.tlbValid && sh.tlbIdx == idx {
 		return sh.tlbPage
 	}
 	sh.tlbMisses++
 	p := sh.pages[idx]
-	if p != nil {
-		sh.tlbIdx, sh.tlbPage = idx, p
-	}
+	sh.tlbIdx, sh.tlbPage, sh.tlbValid = idx, p, true
 	return p
 }
 
@@ -126,7 +129,7 @@ func (sh *Shadow) pageAlloc(idx uint32) *shadowPage {
 	}
 	p := &shadowPage{}
 	sh.pages[idx] = p
-	sh.tlbIdx, sh.tlbPage = idx, p
+	sh.tlbIdx, sh.tlbPage, sh.tlbValid = idx, p, true
 	return p
 }
 
@@ -172,9 +175,7 @@ func (sh *Shadow) GetWord(addr uint32) Tag {
 		return sh.store.Union(p.words[off>>2], p.words[(off+3)>>2])
 	}
 	b := p.bytes
-	return sh.store.Union(
-		sh.store.Union(b[off], b[off+1]),
-		sh.store.Union(b[off+2], b[off+3]))
+	return sh.store.Union4(b[off], b[off+1], b[off+2], b[off+3])
 }
 
 // SetWord assigns t to the four bytes at addr (the tag of a 32-bit
@@ -335,7 +336,7 @@ func (sh *Shadow) ClearRange(addr, n uint32) {
 // Used by execve(), which replaces the address space.
 func (sh *Shadow) Reset() {
 	sh.pages = make(map[uint32]*shadowPage)
-	sh.tlbPage = nil
+	sh.tlbPage, sh.tlbValid = nil, false
 }
 
 // Pages returns the number of shadow pages currently allocated.

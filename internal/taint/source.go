@@ -291,6 +291,22 @@ func (st *Store) Union(a, b Tag) Tag {
 	return t
 }
 
+// Union4 returns the tag for the union of four source sets: the tag a
+// 32-bit load observes on a byte-granular shadow page. It reuses the
+// direct-mapped union cache through Union, but first collapses the
+// shapes byte-mode pages overwhelmingly produce — four equal tags, or
+// two uniform halves — so the common case pays equality compares
+// instead of cache probes.
+func (st *Store) Union4(a, b, c, d Tag) Tag {
+	if a == b {
+		if c == d {
+			return st.Union(a, c)
+		}
+		return st.Union(a, st.Union(c, d))
+	}
+	return st.Union(st.Union(a, b), st.Union(c, d))
+}
+
 // UnionAll folds Union over the given tags.
 func (st *Store) UnionAll(tags ...Tag) Tag {
 	out := Empty

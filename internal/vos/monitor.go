@@ -185,6 +185,16 @@ type Monitor interface {
 	Exited(p *Process)
 }
 
+// PreExecMonitor is an optional Monitor extension: a monitor that
+// caches state keyed to a process's code spans (Harrier's compiled
+// block summaries) implements it to be notified immediately before
+// execve tears the old code map down, while the spans are still
+// reachable through p.CPU.Code. It is discovered by type assertion so
+// existing Monitor implementations stay source-compatible.
+type PreExecMonitor interface {
+	PreExec(p *Process)
+}
+
 // NopMonitor is an embeddable no-op Monitor.
 type NopMonitor struct{}
 

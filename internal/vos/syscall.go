@@ -672,7 +672,12 @@ func (k *kernel) sysExecve(p *Process, args [5]uint32) {
 	}
 	env := p.readStringArray(envPtr)
 
-	// Replace the address space.
+	// Replace the address space. Monitors that cache state keyed to
+	// the outgoing code spans get a last look while they are still
+	// mapped (Harrier drops its compiled block summaries here).
+	if pre, ok := p.Monitor.(PreExecMonitor); ok {
+		pre.PreExec(p)
+	}
 	p.Path = path
 	p.Argv = argv
 	p.Env = env

@@ -112,6 +112,16 @@ func WithMaxOpenFDs(n int) Option {
 	return func(c *Config) { c.MaxOpenFDs = n }
 }
 
+// WithTierThreshold sets the hot-block promotion threshold of the
+// tiered taint engine: a basic block whose execution counter reaches n
+// is compiled into a dataflow summary and leaves the per-instruction
+// interpreter tier. Zero keeps every block in the interpreter tier
+// (the pre-tiering behaviour); detections are bit-identical either
+// way, only throughput changes.
+func WithTierThreshold(n int) Option {
+	return func(c *Config) { c.Monitor.PromoteThreshold = n }
+}
+
 // WithObserver attaches one or more observers to the run's event bus.
 // Repeated uses accumulate.
 func WithObserver(sinks ...Observer) Option {

@@ -196,6 +196,10 @@ func (rc *runCore) publishRunEnd(runErr error, wall time.Duration) {
 			{"harrier.blocks", st.Blocks},
 			{"harrier.access_events", st.AccessEvents},
 			{"harrier.io_events", st.IOEvents},
+			{"harrier.tier.promoted", st.TierPromoted},
+			{"harrier.tier.pinned", st.TierPinned},
+			{"harrier.tier.demoted", st.TierDemoted},
+			{"harrier.tier.hits", st.TierHits},
 		} {
 			rc.bus.Publish(obs.Event{
 				Layer: obs.LayerRun, Kind: obs.KindMetric,

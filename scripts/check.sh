@@ -10,7 +10,10 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test ./...
-go test -race ./internal/corpus -run TestParallel
+# Race-detector pass over the whole module: the parallel corpus runner
+# and the tier promotion/demotion paths run their full test load under
+# the detector.
+go test -race ./...
 # Robustness gate: zero-rate identity plus fault containment over the
 # full corpus on a fixed seed (see cmd/hth-bench).
 go run ./cmd/hth-bench -chaos 0xC0FFEE,0.05 -parallel 4 >/dev/null
