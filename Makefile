@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test bench tables chaos trace benchgate
+.PHONY: check test bench tables chaos trace benchgate serve
 
 # The full pre-merge gate: vet + build + tests + race-detector pass
 # over the parallel corpus runner + seeded chaos sweep + fuzz smoke.
@@ -26,6 +26,12 @@ tables:
 # The observability overhead gate alone (see scripts/benchgate.sh).
 benchgate:
 	sh scripts/benchgate.sh
+
+# Run the evaluation tables with the live introspection server held
+# open on :8077 — curl /metrics, /events, or /flight while it runs;
+# Ctrl-C to stop.
+serve:
+	$(GO) run ./cmd/hth-bench -table all -parallel 2 -introspect 127.0.0.1:8077 -hold
 
 # Record a trojandetect JSONL event trace, replay it with hth-trace,
 # and diff the summary against the golden — the deterministic

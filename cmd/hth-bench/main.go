@@ -26,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"time"
@@ -42,17 +43,38 @@ func main() {
 	chaosSpec := flag.String("chaos", "", "run the fault-injection gate with plan \"seed,rate[,kind...]\"")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile at exit to this file")
+	introspect := flag.String("introspect", "", "serve live introspection (/metrics, /events, /flight, /debug/pprof) on this address")
+	hold := flag.Bool("hold", false, "with -introspect: keep serving after the sweep until interrupted")
 	flag.Parse()
 
+	var intro *hth.Introspection
+	if *introspect != "" {
+		intro = hth.NewIntrospection()
+		if err := intro.Start(*introspect); err != nil {
+			fmt.Fprintf(os.Stderr, "hth-bench: -introspect: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("introspection on http://%s/ (metrics, events, flight, debug/pprof)\n", intro.Addr())
+	}
+
 	stopProfiles := startProfiles(*cpuProfile, *memProfile)
-	code := run(*table, *parallel, *jsonOut, *chaosSpec)
+	code := run(*table, *parallel, *jsonOut, *chaosSpec, intro)
 	stopProfiles()
+	if intro != nil {
+		if *hold {
+			fmt.Printf("holding; interrupt to exit (introspection on http://%s/)\n", intro.Addr())
+			ch := make(chan os.Signal, 1)
+			signal.Notify(ch, os.Interrupt)
+			<-ch
+		}
+		intro.Shutdown()
+	}
 	if code != 0 {
 		os.Exit(code)
 	}
 }
 
-func run(table string, parallel int, jsonOut bool, chaosSpec string) int {
+func run(table string, parallel int, jsonOut bool, chaosSpec string, intro *hth.Introspection) int {
 	if chaosSpec != "" {
 		if runChaos(chaosSpec, parallel) > 0 {
 			return 1
@@ -60,13 +82,23 @@ func run(table string, parallel int, jsonOut bool, chaosSpec string) int {
 		return 0
 	}
 
+	// The shared introspection server rides every scenario's bus as one
+	// more observer; its sink is internally synchronized, so parallel
+	// sweeps may publish into it concurrently.
+	var tweak func(*corpus.Scenario, *hth.Config)
+	if intro != nil {
+		tweak = func(_ *corpus.Scenario, cfg *hth.Config) {
+			cfg.Observers = append(cfg.Observers, intro)
+		}
+	}
+
 	ids, perf := resolve(table)
 	failures := 0
 	for _, id := range ids {
-		failures += printTable(id, corpus.RunAll(corpus.ByTable(id), parallel))
+		failures += printTable(id, corpus.RunAllWith(corpus.ByTable(id), parallel, tweak))
 	}
 	if perf {
-		rows, metrics := printPerf()
+		rows, metrics := printPerf(intro)
 		if jsonOut {
 			path := fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
 			if err := writeBenchJSON(path, rows, metrics); err != nil {
@@ -238,7 +270,7 @@ type perfRow struct {
 	TierHitRate  float64 `json:"tier_hit_rate,omitempty"`
 }
 
-func printPerf() ([]perfRow, *hth.MetricsSnapshot) {
+func printPerf(intro *hth.Introspection) ([]perfRow, *hth.MetricsSnapshot) {
 	t := &report.Table{
 		Title:  "Section 9: Performance (virtual-machine throughput per monitoring level)",
 		Header: []string{"Workload", "Mode", "Guest instrs", "Wall time", "Slowdown vs bare", "Tier hits"},
@@ -246,12 +278,16 @@ func printPerf() ([]perfRow, *hth.MetricsSnapshot) {
 	// One shared metrics registry observes every perf run; its snapshot
 	// lands under "metrics" in BENCH_<date>.json.
 	registry := hth.NewMetrics()
+	observers := []hth.Observer{registry}
+	if intro != nil {
+		observers = append(observers, intro)
+	}
 	var rows []perfRow
 	for _, wl := range corpus.PerfWorkloads() {
 		var bare time.Duration
 		for _, mode := range []corpus.PerfMode{corpus.PerfBare, corpus.PerfNoDataflow, corpus.PerfFull} {
 			start := time.Now()
-			res, err := corpus.RunPerfObserved(wl, mode, registry)
+			res, err := corpus.RunPerfObserved(wl, mode, observers...)
 			elapsed := time.Since(start)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "hth-bench: perf %s/%s: %v\n", wl, mode, err)

@@ -3,8 +3,8 @@
 // exactly what Harrier's Track_DataFlow sees — or replays a recorded
 // JSONL event trace (the hth.JSONL observer's output).
 //
-//	hth-trace -in prog.s [-limit 200] [-taint] [arg ...]
-//	hth-trace -replay run.jsonl [-layer vos] [-pid 1] [-kind syscall.enter] [-rule RULE]
+//	hth-trace -in prog.s [-limit 200] [-taint] [-provenance] [-perfetto out.json] [arg ...]
+//	hth-trace -replay run.jsonl[.gz] [-layer vos] [-pid 1] [-kind syscall.enter] [-rule RULE]
 //	hth-trace -replay run.jsonl -summary
 package main
 
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	hth "repro"
@@ -28,8 +29,10 @@ func main() {
 		limit     = flag.Int("limit", 500, "maximum instructions to trace")
 		showTaint = flag.Bool("taint", false, "print register tags after each instruction")
 		stdin     = flag.String("stdin", "", "guest stdin")
+		prov      = flag.Bool("provenance", false, "trace taint provenance and print every source's causal chain")
+		perfetto  = flag.String("perfetto", "", "with -provenance: write a Chrome trace_event JSON for Perfetto to this file")
 
-		replayIn  = flag.String("replay", "", "replay a JSONL event trace instead of running a guest")
+		replayIn  = flag.String("replay", "", "replay a JSONL event trace (plain or gzipped) instead of running a guest")
 		layerName = flag.String("layer", "", "replay: only events from this layer (run|vos|harrier|secpert|chaos)")
 		kindName  = flag.String("kind", "", "replay: only events of this kind (e.g. syscall.enter)")
 		pid       = flag.Int("pid", -1, "replay: only events for this guest pid")
@@ -38,25 +41,15 @@ func main() {
 	)
 	flag.Parse()
 	if *replayIn != "" {
-		filter := &replayFilter{rule: *rule}
-		if *layerName != "" {
-			l, ok := obs.LayerByName(*layerName)
-			if !ok {
-				fatalf("unknown layer %q", *layerName)
-			}
-			filter.layer, filter.hasLayer = l, true
-		}
-		if *kindName != "" {
-			k, ok := obs.KindByName(*kindName)
-			if !ok {
-				fatalf("unknown kind %q", *kindName)
-			}
-			filter.kind, filter.hasKind = k, true
-		}
+		pidStr := ""
 		if *pid >= 0 {
-			filter.pid, filter.hasPID = int32(*pid), true
+			pidStr = strconv.Itoa(*pid)
 		}
-		replay(*replayIn, filter, *summary)
+		filter, err := obs.ParseFilter(*layerName, *kindName, pidStr, *rule)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		replay(*replayIn, &filter, *summary)
 		return
 	}
 	if *in == "" {
@@ -76,7 +69,11 @@ func main() {
 
 	// Build the monitored world through the Session API so we can
 	// splice a tracing hook in front of Harrier's.
-	sn := sys.NewSession(hth.DefaultConfig())
+	cfg := hth.DefaultConfig()
+	if *prov {
+		cfg.Provenance = true
+	}
+	sn := sys.NewSession(cfg)
 	p, err := sn.Start(hth.RunSpec{
 		Path:  guestPath,
 		Argv:  append([]string{guestPath}, flag.Args()...),
@@ -111,6 +108,25 @@ func main() {
 	}
 	fmt.Printf("\n%d instruction(s) executed; %d traced\n", res.TotalSteps, min(count, *limit))
 	fmt.Print(res.Report())
+	if *prov && res.Provenance != nil {
+		fmt.Println("provenance chains:")
+		for _, ch := range res.Provenance.Chains() {
+			fmt.Printf("  %s\n", ch)
+		}
+		if *perfetto != "" {
+			f, err := os.Create(*perfetto)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := res.Provenance.WriteChromeTrace(f); err != nil {
+				fatalf("perfetto: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("perfetto: %v", err)
+			}
+			fmt.Printf("perfetto trace written to %s\n", *perfetto)
+		}
+	}
 }
 
 func storeOf(p *vos.Process) *taint.Store {

@@ -9,51 +9,21 @@ import (
 	"repro/internal/obs"
 )
 
-// replayFilter selects which replayed events are printed. Zero values
-// select everything.
-type replayFilter struct {
-	layer obs.Layer
-	kind  obs.Kind
-	pid   int32
-	rule  string
-
-	hasLayer bool
-	hasKind  bool
-	hasPID   bool
-}
-
-func (f *replayFilter) match(e obs.Event) bool {
-	if f.hasLayer && e.Layer != f.layer {
-		return false
-	}
-	if f.hasKind && e.Kind != f.kind {
-		return false
-	}
-	if f.hasPID && e.PID != f.pid {
-		return false
-	}
-	if f.rule != "" {
-		switch e.Kind {
-		case obs.KindRuleFire, obs.KindWarning:
-			if e.Str != f.rule {
-				return false
-			}
-		default:
-			return false
-		}
-	}
-	return true
-}
-
 // replay pretty-prints (or summarizes) a JSONL trace written by the
-// hth.JSONL observer. Only the filtered events are rendered, but the
-// summary always counts the full stream.
-func replay(path string, filter *replayFilter, summary bool) {
+// hth.JSONL observer (plain or gzipped — flight dumps are gzipped by
+// default). Only the filtered events are rendered, but the summary
+// always counts the full stream. The filter syntax is obs.ParseFilter,
+// shared with the introspection server's /events endpoint.
+func replay(path string, filter *obs.Filter, summary bool) {
 	f, err := os.Open(path)
 	if err != nil {
 		fatalf("%v", err)
 	}
 	defer f.Close()
+	r, err := obs.MaybeGzip(f)
+	if err != nil {
+		fatalf("replay %s: %v", path, err)
+	}
 
 	var (
 		total    uint64
@@ -62,7 +32,7 @@ func replay(path string, filter *replayFilter, summary bool) {
 		byRule   = map[string]uint64{}
 		warnings = map[string]uint64{}
 	)
-	err = obs.ReadJSONL(f, func(e obs.Event) error {
+	err = obs.ReadJSONL(r, func(e obs.Event) error {
 		total++
 		byLayer[e.Layer]++
 		byKind[e.Kind]++
@@ -72,7 +42,7 @@ func replay(path string, filter *replayFilter, summary bool) {
 		case obs.KindWarning:
 			warnings[e.Str]++
 		}
-		if !summary && filter.match(e) {
+		if !summary && filter.Match(e) {
 			fmt.Println(renderEvent(e))
 		}
 		return nil

@@ -78,6 +78,8 @@ func (s *sink) OnData(_ *vos.RemoteConn, data []byte) {
 
 func main() {
 	tracePath := flag.String("trace", "", "write run 1's JSONL event trace to this file")
+	provenance := flag.Bool("provenance", false, "print the causal provenance chain under each warning")
+	introspect := flag.String("introspect", "", "serve run 1's live introspection (/metrics, /events, /flight) on this address")
 	flag.Parse()
 
 	// The trace observer is attached to run 1 only: the observe run is
@@ -91,13 +93,21 @@ func main() {
 		defer f.Close()
 		opts = append(opts, hth.WithObserver(hth.JSONL(f)))
 	}
+	var opts2 []hth.Option
+	if *provenance {
+		opts = append(opts, hth.WithProvenance())
+		opts2 = append(opts2, hth.WithProvenance())
+	}
+	if *introspect != "" {
+		opts = append(opts, hth.WithIntrospection(*introspect))
+	}
 
 	fmt.Println("=== run 1: observe (continue past warnings) ===")
 	stolen := runOnce(nil, opts...)
 	fmt.Printf("bytes that reached the attacker: %d\n\n", stolen)
 
 	fmt.Println("=== run 2: enforce (kill at High) ===")
-	stolen = runOnce(secpert.KillAtOrAbove(secpert.High))
+	stolen = runOnce(secpert.KillAtOrAbove(secpert.High), opts2...)
 	fmt.Printf("bytes that reached the attacker: %d\n", stolen)
 }
 
@@ -117,6 +127,10 @@ func runOnce(advisor secpert.Advisor, opts ...hth.Option) int {
 		log.Fatal(err)
 	}
 	fmt.Print(res.Report())
+	if res.Introspection != nil {
+		fmt.Printf("introspection served on http://%s/ for this run\n", res.Introspection.Addr())
+		res.Introspection.Shutdown()
+	}
 	if res.Process.Killed {
 		fmt.Println("guest was KILLED by the monitor")
 	}

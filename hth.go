@@ -33,6 +33,7 @@ import (
 	"repro/internal/guestlib"
 	"repro/internal/harrier"
 	"repro/internal/image"
+	"repro/internal/obs"
 	"repro/internal/secpert"
 	"repro/internal/vos"
 )
@@ -75,6 +76,29 @@ type Config struct {
 	// Sampling, CLIPSText. With no observers the bus is disabled and
 	// every publish site costs one nil-check.
 	Observers []Observer
+	// Provenance enables causal provenance tracing: every taint source
+	// gets a stable ID at its entry point and accumulates a bounded hop
+	// list, and each warning carries the rendered chains of the sources
+	// behind it (Warning.Chain). Recording is read-only with respect to
+	// taint state, so detections and tag sets are bit-identical with it
+	// on or off. Off by default; enable with WithProvenance.
+	Provenance bool
+	// FlightSize arms the flight recorder: a fixed-size, allocation-free
+	// ring holding the last N events even when no other observer is
+	// attached. Zero leaves it off unless FlightPath or Introspect is
+	// set, in which case the default size (obs.DefaultFlightSize) is
+	// used. See WithFlightRecorder.
+	FlightSize int
+	// FlightPath, when set, dumps the flight ring as gzipped JSONL to
+	// this file when the run ends with a warning, a scheduler error, a
+	// guest fault, or injected chaos faults. See WithFlightDump.
+	FlightPath string
+	// Introspect, when set, serves live introspection over HTTP on this
+	// address for the duration of the run: /metrics (Prometheus text),
+	// /events (filtered SSE stream), /flight (ring dump), and
+	// /debug/pprof. The server stays up after the run until
+	// Result.Introspection.Shutdown. See WithIntrospection.
+	Introspect string
 	// Verbose, when set, receives Secpert's CLIPS-style fire trace
 	// and warning printout as the run progresses.
 	//
@@ -139,6 +163,19 @@ type Result struct {
 	// Metrics is a snapshot of the first Metrics observer attached to
 	// the run (nil when none was configured).
 	Metrics *MetricsSnapshot
+	// Flight is the flight-recorder contents at end of run, oldest
+	// first (nil when the recorder was not armed).
+	Flight []Event
+	// Provenance is the provenance recorder with every source's chain
+	// (nil unless Config.Provenance).
+	Provenance *obs.Provenance
+	// Introspection is the live HTTP server, still running so the run
+	// can be inspected post-mortem; the caller owns Shutdown (nil
+	// unless Config.Introspect).
+	Introspection *obs.Introspection
+	// ObserverErr is the first error an observer reported on Close —
+	// e.g. a JSONL sink whose writer failed mid-run (nil when clean).
+	ObserverErr error
 }
 
 // MaxSeverity returns the highest warning severity and whether any
@@ -171,14 +208,21 @@ func (r *Result) CountAt(sev secpert.Severity) int {
 	return n
 }
 
-// Report renders the warnings as the paper prints them.
+// Report renders the warnings as the paper prints them. Warnings that
+// carry provenance chains (Config.Provenance) list them indented under
+// the message; without provenance the output is byte-identical to
+// earlier releases.
 func (r *Result) Report() string {
 	if len(r.Warnings) == 0 {
 		return "No warnings.\n"
 	}
 	var b strings.Builder
 	for _, w := range r.Warnings {
-		fmt.Fprintf(&b, "%s\n\n", w)
+		fmt.Fprintf(&b, "%s\n", w)
+		for _, ch := range w.Chain {
+			fmt.Fprintf(&b, "    chain: %s\n", ch)
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }
@@ -251,9 +295,13 @@ func (s *System) ScheduleConnect(at uint64, addr, from string, script vos.Remote
 func (s *System) Run(cfg Config, spec RunSpec) (res *Result, err error) {
 	defer contain("run", &res, &err)
 	rc := newRunCore(s, cfg)
+	if err := rc.setupErr(); err != nil {
+		rc.abort()
+		return nil, err
+	}
 	p, err := rc.start(spec)
 	if err != nil {
-		rc.bus.Close() // nil-safe
+		rc.abort()
 		return nil, &GuestFault{Path: spec.Path, Err: err}
 	}
 	began := time.Now()
@@ -281,6 +329,9 @@ func (s *System) NewSession(cfg Config) *Session {
 // Start launches a program under this session's shared monitor. The
 // program does not run until Wait.
 func (sn *Session) Start(spec RunSpec) (*vos.Process, error) {
+	if err := sn.rc.setupErr(); err != nil {
+		return nil, err
+	}
 	p, err := sn.rc.start(spec)
 	if err != nil {
 		return nil, err

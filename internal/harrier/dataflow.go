@@ -57,10 +57,16 @@ func (h *Harrier) trackDataFlow(c *isa.CPU, s *isa.Span, idx int) {
 		c.RegTags[isa.EBX] = h.hwTag
 		c.RegTags[isa.ECX] = h.hwTag
 		c.RegTags[isa.EDX] = h.hwTag
+		if h.prov != nil {
+			h.provHardware(c, "cpuid")
+		}
 
 	case isa.RDTSC:
 		c.RegTags[isa.EAX] = h.hwTag
 		c.RegTags[isa.EDX] = h.hwTag
+		if h.prov != nil {
+			h.provHardware(c, "rdtsc")
+		}
 
 	case isa.CMP, isa.TEST, isa.JMP, isa.JZ, isa.JNZ, isa.JL, isa.JLE,
 		isa.JG, isa.JGE, isa.RET, isa.INT, isa.HLT, isa.NOP, isa.NATIVE:
@@ -257,5 +263,8 @@ func (h *Harrier) nativePost(c *isa.CPU, name string) {
 		}
 		n := c.Mem.CStringLen(out)
 		c.Shadow.SetRange(out, n+1, t)
+		if h.prov != nil && t != taint.Empty {
+			h.provXfer(p, t, name)
+		}
 	}
 }

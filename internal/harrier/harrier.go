@@ -171,6 +171,13 @@ type Harrier struct {
 
 	stats Stats
 	bus   *obs.Bus
+
+	// Provenance recording (see provenance.go): the attached recorder
+	// and the tag → provenance-ID resolution cache. Both nil/empty
+	// unless SetProvenance armed them; every hot-path site guards with
+	// one prov nil-check.
+	prov    *obs.Provenance
+	provIDs map[taint.Tag][]obs.ProvID
 }
 
 var _ vos.Monitor = (*Harrier)(nil)
@@ -332,6 +339,9 @@ func (h *Harrier) collectBBFrequency(c *isa.CPU, s *isa.Span, leader int) {
 		e.key, e.ctr = key, ctr
 	}
 	*ctr++
+	if h.prov != nil {
+		h.provBlockScan(c, p.OS.Clock, int32(p.PID), key.addr, key.image, false)
+	}
 	// Tier promotion: a hot block with an empty summary slot compiles
 	// exactly once per slot lifetime (failure pins the slot, success
 	// moves subsequent entries onto the OnBBSummary path; an execve

@@ -1,6 +1,8 @@
 package harrier
 
 import (
+	"fmt"
+
 	"repro/internal/events"
 	"repro/internal/isa"
 	"repro/internal/taint"
@@ -33,10 +35,14 @@ func (h *Harrier) SyscallEnter(p *vos.Process, sc *vos.SyscallCtx) vos.Verdict {
 
 	switch sc.Num {
 	case vos.SysExecve:
+		origin := h.sourcesAt(p, sc.PathPtr, sc.PathLen)
+		if h.prov != nil {
+			h.provExit(p, origin, fmt.Sprintf("execve %q", sc.Path))
+		}
 		return access("SYS_execve", events.Ref{
 			Name:   sc.Path,
 			Type:   taint.File,
-			Origin: h.sourcesAt(p, sc.PathPtr, sc.PathLen),
+			Origin: origin,
 		})
 
 	case vos.SysFork, vos.SysClone:
@@ -87,6 +93,9 @@ func (h *Harrier) socketcallEnter(p *vos.Process, sc *vos.SyscallCtx, freq int64
 	switch sock.Call {
 	case vos.SockBind, vos.SockConnect:
 		origin := h.sourcesAt(p, sock.AddrPtr, sock.AddrLen)
+		if h.prov != nil {
+			h.provExit(p, origin, fmt.Sprintf("%s %q", vos.SockName(sock.Call), sock.Addr))
+		}
 		// Record the address-name provenance on the descriptor so
 		// later writes can classify their target (paper Table 2).
 		if sc.Des != nil && p.CPU.Shadow != nil {
@@ -148,6 +157,13 @@ func (h *Harrier) ioEvent(p *vos.Process, sc *vos.SyscallCtx, dir events.Dir, fr
 	}
 	if dir == events.Write {
 		ev.Data = h.sourcesAt(p, sc.Buf, sc.Len)
+		if h.prov != nil {
+			verb, fdn := "write", sc.FD
+			if sc.Sock != nil {
+				verb, fdn = "send", sc.Sock.FD
+			}
+			h.provExit(p, ev.Data, fmt.Sprintf("%s fd %d", verb, fdn))
+		}
 		n := sc.Len
 		if n > 16 {
 			n = 16
@@ -200,8 +216,12 @@ func (h *Harrier) tagReadBuffer(p *vos.Process, sc *vos.SyscallCtx) {
 	if n <= 0 || sc.Des == nil || p.CPU.Shadow == nil {
 		return
 	}
-	tag := h.Store.Of(sc.Des.Source())
+	src := sc.Des.Source()
+	tag := h.Store.Of(src)
 	p.CPU.Shadow.SetRange(sc.Buf, uint32(n), tag)
+	if h.prov != nil {
+		h.provRead(p, sc, src)
+	}
 }
 
 // recordClone updates the process-creation counters for the §4.2

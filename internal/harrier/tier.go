@@ -86,6 +86,13 @@ func (h *Harrier) onBBSummary(c *isa.CPU, s *isa.Span, leader int, summary any) 
 	h.stats.TierHits++
 	ctr := sum.ctr
 	*ctr++
+	if h.prov != nil {
+		// Same execution point as the interpreter tier's scan (block
+		// entry, before any of the block's transfers apply), so the
+		// attribution stream is tier-independent up to the tier flag.
+		p := c.Ctx.(*vos.Process)
+		h.provBlockScan(c, p.OS.Clock, int32(p.PID), sum.key.addr, sum.key.image, true)
+	}
 	if h.bus != nil && uint64(*ctr)&(bbRollQuantum-1) == 0 {
 		h.publishBBRoll(c, sum, *ctr)
 	}

@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -22,29 +23,57 @@ type wireEvent struct {
 	Str2  string `json:"str2,omitempty"`
 }
 
-// jsonlSink streams one JSON object per event.
+// jsonlSink streams one JSON object per event, remembering the first
+// writer error so Close can surface it.
 type jsonlSink struct {
 	bw  *bufio.Writer
 	enc *json.Encoder
+	err error
 }
 
 // JSONL builds a sink that writes the trace as JSON Lines: one object
 // per event with symbolic layer/kind names, buffered, flushed on
-// Close. The output replays with `hth-trace -replay`.
+// Close. The output replays with `hth-trace -replay`. The first
+// underlying write error sticks: later events are dropped and Close
+// returns it (surfaced through Result.ObserverErr), so a full disk or
+// closed pipe is never silently an empty trace.
 func JSONL(w io.Writer) Sink {
 	bw := bufio.NewWriter(w)
 	return &jsonlSink{bw: bw, enc: json.NewEncoder(bw)}
 }
 
 func (s *jsonlSink) Event(e Event) {
-	s.enc.Encode(wireEvent{ // Encode appends '\n'
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(wireEvent{ // Encode appends '\n'
 		Seq: e.Seq, Time: e.Time,
 		Layer: e.Layer.String(), Kind: e.Kind.String(),
 		PID: e.PID, Num: e.Num, Num2: e.Num2, Str: e.Str, Str2: e.Str2,
 	})
 }
 
-func (s *jsonlSink) Close() error { return s.bw.Flush() }
+func (s *jsonlSink) Close() error {
+	if err := s.bw.Flush(); s.err == nil {
+		s.err = err
+	}
+	return s.err
+}
+
+// writeWireEvent writes one event in the JSONL wire form (shared by
+// the Flight dump paths).
+func writeWireEvent(w io.Writer, e Event) error {
+	b, err := json.Marshal(wireEvent{
+		Seq: e.Seq, Time: e.Time,
+		Layer: e.Layer.String(), Kind: e.Kind.String(),
+		PID: e.PID, Num: e.Num, Num2: e.Num2, Str: e.Str, Str2: e.Str2,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
 
 // DecodeJSONL parses one JSONL trace line back into an Event.
 func DecodeJSONL(line []byte) (Event, error) {
@@ -64,6 +93,21 @@ func DecodeJSONL(line []byte) (Event, error) {
 		Seq: w.Seq, Time: w.Time, Layer: l, Kind: k,
 		PID: w.PID, Num: w.Num, Num2: w.Num2, Str: w.Str, Str2: w.Str2,
 	}, nil
+}
+
+// MaybeGzip wraps r in a gzip reader when the stream starts with the
+// gzip magic bytes, so trace consumers read .jsonl and .jsonl.gz
+// files transparently (flight dumps are gzip by default).
+func MaybeGzip(r io.Reader) (io.Reader, error) {
+	br := bufio.NewReader(r)
+	magic, err := br.Peek(2)
+	if err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		return gzip.NewReader(br)
+	}
+	if err != nil && err != io.EOF {
+		return nil, err
+	}
+	return br, nil
 }
 
 // ReadJSONL decodes a whole trace stream, calling fn per event.

@@ -73,6 +73,12 @@ type Warning struct {
 	PID      int      `json:"pid"`
 	Time     uint64   `json:"time"`
 	FactIDs  []int    `json:"fact_ids,omitempty"`
+	// Chain holds the causal provenance chains of the taint sources
+	// behind this warning — one rendered chain per source, ending at
+	// the exit that fired the rule. Filled only when a chain resolver
+	// is installed (SetChainResolver, i.e. provenance tracing is on);
+	// otherwise nil, so default-config output is unchanged.
+	Chain []string `json:"chain,omitempty"`
 }
 
 // MarshalJSON renders the severity as its label.
@@ -229,6 +235,14 @@ type Secpert struct {
 	suppressed    int
 
 	bus *obs.Bus
+
+	// chains resolves taint sources to rendered provenance chains
+	// (SetChainResolver). curSources/curDesc describe the event being
+	// evaluated, so warn() can attach causality even for rules whose
+	// trigger carries no taint (e.g. clone flooding).
+	chains     func([]taint.Source) []string
+	curSources []taint.Source
+	curDesc    string
 }
 
 // New builds a Secpert with the given policy configuration.
@@ -273,6 +287,11 @@ func (s *Secpert) SetBus(b *obs.Bus) {
 		})
 	}
 }
+
+// SetChainResolver installs the provenance chain resolver consulted at
+// warning time (typically Harrier.ProvenanceChains). A nil resolver
+// detaches it and warnings stop carrying chains.
+func (s *Secpert) SetChainResolver(fn func([]taint.Source) []string) { s.chains = fn }
 
 // Engine exposes the underlying expert engine (for extension rules).
 func (s *Secpert) Engine() *expert.Engine { return s.eng }
@@ -322,6 +341,10 @@ func (s *Secpert) HandleAccess(ev *events.Access) Decision {
 	if ev.Resource.Name != "" {
 		s.origins[ev.Resource.Name] = mergeSources(s.origins[ev.Resource.Name], ev.Resource.Origin)
 	}
+	if s.chains != nil {
+		s.curSources = ev.Resource.Origin
+		s.curDesc = eventDesc(ev.Call, ev.Resource.Name, ev.PID, ev.Time)
+	}
 	s.pending = Proceed
 	f, err := s.eng.Assert("system_call_access", accessSlots(ev))
 	if err != nil {
@@ -337,6 +360,10 @@ func (s *Secpert) HandleIO(ev *events.IO) Decision {
 	if ev.Dir == events.Write && ev.Resource.Type == taint.File &&
 		ev.Resource.Name != "stdout" && ev.Resource.Name != "stderr" {
 		s.sessionWrites = append(s.sessionWrites, ev.Resource.Name)
+	}
+	if s.chains != nil {
+		s.curSources = mergeSources(ev.Data, ev.Resource.Origin)
+		s.curDesc = eventDesc(ev.Call, ev.Resource.Name, ev.PID, ev.Time)
 	}
 	s.pending = Proceed
 	f, err := s.eng.Assert("system_call_io", ioSlots(ev))
@@ -362,6 +389,14 @@ func (s *Secpert) warn(ctx *expert.Context, cat Category, sev Severity, pid int,
 		PID:      pid,
 		Time:     t,
 		FactIDs:  append([]int(nil), ctx.IDs...),
+	}
+	if s.chains != nil {
+		w.Chain = s.chains(s.curSources)
+		if len(w.Chain) == 0 {
+			// No taint source behind the trigger (e.g. clone
+			// flooding): the event itself is the whole chain.
+			w.Chain = []string{s.curDesc}
+		}
 	}
 	if s.cfg.History != nil && s.cfg.History.Approved(&w) {
 		// The user allowed an identical warning in a previous
@@ -441,6 +476,15 @@ func mergeSources(a, b []taint.Source) []taint.Source {
 		}
 	}
 	return out
+}
+
+// eventDesc renders the event under evaluation as a one-line fallback
+// chain element.
+func eventDesc(call, name string, pid int, t uint64) string {
+	if name != "" {
+		return fmt.Sprintf("%s %q (pid %d) @t=%d", call, name, pid, t)
+	}
+	return fmt.Sprintf("%s (pid %d) @t=%d", call, pid, t)
 }
 
 func quoteList(names []string) string {

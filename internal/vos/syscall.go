@@ -398,10 +398,11 @@ func (k *kernel) recvCommon(p *Process, fd *FDesc, sock *SockInfo, args [5]uint3
 		}
 		sc := &SyscallCtx{
 			Num: SysRead, Name: "SYS_read", Args: args,
-			FD: -1, Des: fd, Buf: buf, Len: want, Sock: sock,
+			FD: int(args[0]), Des: fd, Buf: buf, Len: want, Sock: sock,
 		}
 		if sock != nil {
 			sc.Num, sc.Name = SysSocketcall, "SYS_socketcall"
+			sc.FD = sock.FD
 		}
 		if !p.notifyEnter(sc) {
 			return true // killed: unblock into the exited state
@@ -438,10 +439,11 @@ func (k *kernel) writeCommon(p *Process, fd *FDesc, sock *SockInfo, args [5]uint
 	}
 	sc := &SyscallCtx{
 		Num: SysWrite, Name: "SYS_write", Args: args,
-		Des: fd, Buf: buf, Len: nlen, Sock: sock,
+		FD: int(args[0]), Des: fd, Buf: buf, Len: nlen, Sock: sock,
 	}
 	if sock != nil {
 		sc.Num, sc.Name = SysSocketcall, "SYS_socketcall"
+		sc.FD = sock.FD
 	}
 	if !p.notifyEnter(sc) {
 		return

@@ -127,3 +127,60 @@ func WithTierThreshold(n int) Option {
 func WithObserver(sinks ...Observer) Option {
 	return func(c *Config) { c.Observers = append(c.Observers, sinks...) }
 }
+
+// WithProvenance enables causal provenance tracing: every taint source
+// gets a stable ID at entry and each warning carries the rendered
+// chains of the sources behind it (Warning.Chain, Result.Provenance).
+// Recording observes taint state without mutating it, so detections
+// are bit-identical with tracing on or off.
+func WithProvenance() Option {
+	return func(c *Config) { c.Provenance = true }
+}
+
+// WithFlightRecorder arms the flight recorder: a fixed-size ring
+// holding the run's last n events (n <= 0 selects the default size)
+// even when no other observer is attached. Read it from Result.Flight.
+func WithFlightRecorder(n int) Option {
+	return func(c *Config) {
+		if n <= 0 {
+			n = obs.DefaultFlightSize
+		}
+		c.FlightSize = n
+	}
+}
+
+// WithFlightDump arms the flight recorder and dumps it as gzipped
+// JSONL to path when the run ends with a warning, a scheduler error, a
+// guest fault, or injected chaos faults. Replay the dump with
+// `hth-trace -replay path`.
+func WithFlightDump(path string) Option {
+	return func(c *Config) { c.FlightPath = path }
+}
+
+// WithIntrospection serves live run introspection over HTTP on addr
+// (e.g. "127.0.0.1:8077"): /metrics in Prometheus text format,
+// /events as a filterable SSE stream, /flight as the recorder dump,
+// and /debug/pprof. The server keeps running after the run so the
+// final state can be scraped; shut it down with
+// Result.Introspection.Shutdown.
+func WithIntrospection(addr string) Option {
+	return func(c *Config) { c.Introspect = addr }
+}
+
+// Flight is the flight-recorder ring sink (see WithFlightRecorder).
+type Flight = obs.Flight
+
+// Provenance is the per-source causal chain recorder (see
+// WithProvenance).
+type Provenance = obs.Provenance
+
+// Introspection is the live HTTP introspection server. Runs created
+// with WithIntrospection expose theirs as Result.Introspection; a
+// standalone instance (NewIntrospection) can be attached with
+// WithObserver and started manually to serve several runs.
+type Introspection = obs.Introspection
+
+// NewIntrospection returns a standalone introspection server with its
+// own flight ring, for use as a long-lived observer across runs:
+// attach with WithObserver and call Start/Shutdown yourself.
+func NewIntrospection() *Introspection { return obs.NewIntrospection(nil) }

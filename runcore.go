@@ -17,12 +17,17 @@ import (
 // bus, monitor+policy construction, and Result assembly each exist
 // exactly once here.
 type runCore struct {
-	sys *System
-	cfg Config
-	bus *obs.Bus
-	sec *secpert.Secpert
-	h   *harrier.Harrier
-	inj *chaos.Injector
+	sys    *System
+	cfg    Config
+	bus    *obs.Bus
+	sec    *secpert.Secpert
+	h      *harrier.Harrier
+	inj    *chaos.Injector
+	flight *obs.Flight
+	prov   *obs.Provenance
+	intro  *obs.Introspection
+
+	introErr error
 }
 
 // newRunCore normalizes the configuration and arms the system:
@@ -38,8 +43,23 @@ func newRunCore(s *System, cfg Config) *runCore {
 	rc := &runCore{sys: s, cfg: cfg}
 	os := s.OS
 	os.SetMaxSteps(cfg.MaxSteps)
-	if len(cfg.Observers) > 0 {
-		rc.bus = obs.NewBus(cfg.Observers...)
+	// The flight recorder and the introspection server ride the same
+	// bus as user observers. When introspection is on, the server owns
+	// feeding the ring (so /flight and the dump see one stream), and
+	// the ring is not attached twice. A run with none of these stays on
+	// the nil bus: publish sites pay one nil-check and nothing else.
+	sinks := cfg.Observers
+	if cfg.FlightSize > 0 || cfg.FlightPath != "" || cfg.Introspect != "" {
+		rc.flight = obs.NewFlight(cfg.FlightSize)
+		extra := obs.Sink(rc.flight)
+		if cfg.Introspect != "" {
+			rc.intro = obs.NewIntrospection(rc.flight)
+			extra = rc.intro
+		}
+		sinks = append(append([]Observer(nil), cfg.Observers...), extra)
+	}
+	if len(sinks) > 0 {
+		rc.bus = obs.NewBus(sinks...)
 		rc.bus.SetClock(func() uint64 { return os.Clock })
 	}
 	os.SetBus(rc.bus) // nil detaches a previous run's bus
@@ -59,8 +79,29 @@ func newRunCore(s *System, cfg Config) *runCore {
 		rc.wireSecpert()
 		rc.h = harrier.New(cfg.Monitor, rc.sec)
 		rc.h.SetBus(rc.bus)
+		if cfg.Provenance {
+			rc.prov = obs.NewProvenance(0)
+			rc.h.SetProvenance(rc.prov)
+			rc.sec.SetChainResolver(rc.h.ProvenanceChains)
+		}
+	}
+	if rc.intro != nil {
+		rc.introErr = rc.intro.Start(cfg.Introspect)
 	}
 	return rc
+}
+
+// setupErr reports a configuration failure detected during core
+// construction (today: the introspection listener).
+func (rc *runCore) setupErr() error { return rc.introErr }
+
+// abort tears down a core whose run never happened: the bus is closed
+// (flushing observers) and the introspection server is stopped.
+func (rc *runCore) abort() {
+	rc.bus.Close() // nil-safe
+	if rc.intro != nil {
+		rc.intro.Shutdown()
+	}
 }
 
 // wireSecpert connects the expert engine's text output. The deprecated
@@ -140,9 +181,23 @@ func (rc *runCore) finish(root *vos.Process, runErr error, wall time.Duration) *
 	}
 	if rc.bus != nil {
 		rc.publishRunEnd(runErr, wall)
-		rc.bus.Close()
+		res.ObserverErr = rc.bus.Close()
 		if ms := obs.FindMetrics(rc.cfg.Observers); len(ms) > 0 {
 			res.Metrics = ms[0].Snapshot()
+		}
+	}
+	res.Provenance = rc.prov
+	res.Introspection = rc.intro
+	if rc.flight != nil {
+		res.Flight = rc.flight.Snapshot()
+		// Automatic black-box dump: anything abnormal — a warning, a
+		// scheduler outcome, a guest fault, or an injected chaos fault
+		// — flushes the ring to disk for post-mortem replay.
+		if rc.cfg.FlightPath != "" && (len(res.Warnings) > 0 || runErr != nil ||
+			(root != nil && root.Fault != nil) || len(res.Chaos) > 0) {
+			if err := rc.flight.DumpFile(rc.cfg.FlightPath); err != nil && res.ObserverErr == nil {
+				res.ObserverErr = err
+			}
 		}
 	}
 	return res

@@ -8,6 +8,13 @@ set -eux
 cd "$(dirname "$0")/.."
 
 go vet ./...
+# staticcheck is optional tooling: run it when installed, skip (loudly)
+# when the host doesn't have it so the gate stays hermetic.
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not on PATH; skipping" >&2
+fi
 go build ./...
 go test ./...
 # Race-detector pass over the whole module: the parallel corpus runner
