@@ -212,7 +212,7 @@ func (a *assembler) defineLabel(name string) {
 }
 
 func (a *assembler) doDirective(s string) {
-	fields := splitOperands(s)
+	fields := splitOperandsList(s)
 	head := strings.Fields(fields[0])
 	dir := head[0]
 	rest := strings.TrimSpace(strings.TrimPrefix(fields[0], dir))
@@ -402,8 +402,10 @@ func unescape(s string) (string, error) {
 	return b.String(), nil
 }
 
-// splitOperands splits on commas that are outside quotes and brackets.
-func splitOperands(s string) []string {
+// splitOperandsList is the allocating split for directives, which take
+// arbitrarily many comma-separated arguments; commas inside quotes and
+// brackets do not split.
+func splitOperandsList(s string) []string {
 	var out []string
 	depth := 0
 	inStr := false
@@ -429,8 +431,47 @@ func splitOperands(s string) []string {
 			}
 		}
 	}
-	out = append(out, s[start:])
-	return out
+	return append(out, s[start:])
+}
+
+// splitOperands splits on commas that are outside quotes and brackets,
+// filling out and returning the total segment count (segments past
+// len(out) are counted but dropped — the caller rejects them anyway).
+// A fixed output array keeps the per-instruction path allocation-free.
+func splitOperands(s string, out *[3]string) int {
+	n := 0
+	put := func(seg string) {
+		if n < len(out) {
+			out[n] = seg
+		}
+		n++
+	}
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '[':
+			if !inStr {
+				depth++
+			}
+		case ']':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				put(s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	put(s[start:])
+	return n
 }
 
 func (a *assembler) doInstr(s string) {
@@ -449,45 +490,50 @@ func (a *assembler) doInstr(s string) {
 		a.errorf("unknown mnemonic %q", mnemonic)
 		return
 	}
-	var operands []string
+	var operands [3]string
+	nOps := 0
 	if rest != "" {
-		operands = splitOperands(rest)
+		nOps = splitOperands(rest, &operands)
 	}
 	in := isa.Instr{Op: op, Line: a.line}
 	instrIdx := len(sec.Instrs)
-	if len(operands) > 0 {
+	if nOps > 0 {
 		in.A = a.parseOperand(strings.TrimSpace(operands[0]), instrIdx, image.SlotA)
 	}
-	if len(operands) > 1 {
+	if nOps > 1 {
 		in.B = a.parseOperand(strings.TrimSpace(operands[1]), instrIdx, image.SlotB)
 	}
-	if len(operands) > 2 {
+	if nOps > 2 {
 		a.errorf("too many operands")
 		return
 	}
-	if err := checkArity(op, len(operands)); err != "" {
+	if err := checkArity(op, nOps); err != "" {
 		a.errorf("%s", err)
 		return
 	}
 	sec.Instrs = append(sec.Instrs, in)
 }
 
+// opArity maps each writable mnemonic to its [min, max] operand
+// count; a package-level table so the per-instruction check is one
+// map lookup with no construction cost.
+var opArity = map[isa.Op][2]int{
+	isa.NOP: {0, 0}, isa.HLT: {0, 0}, isa.RET: {0, 0},
+	isa.CPUID: {0, 0}, isa.RDTSC: {0, 0},
+	isa.MOV: {2, 2}, isa.MOVB: {2, 2}, isa.LEA: {2, 2},
+	isa.ADD: {2, 2}, isa.SUB: {2, 2}, isa.AND: {2, 2}, isa.OR: {2, 2},
+	isa.XOR: {2, 2}, isa.MUL: {2, 2}, isa.DIVOP: {2, 2}, isa.MODOP: {2, 2},
+	isa.SHL: {2, 2}, isa.SHR: {2, 2},
+	isa.CMP: {2, 2}, isa.TEST: {2, 2},
+	isa.NOT: {1, 1}, isa.NEG: {1, 1}, isa.INC: {1, 1}, isa.DEC: {1, 1},
+	isa.PUSH: {1, 1}, isa.POP: {1, 1},
+	isa.JMP: {1, 1}, isa.JZ: {1, 1}, isa.JNZ: {1, 1},
+	isa.JL: {1, 1}, isa.JLE: {1, 1}, isa.JG: {1, 1}, isa.JGE: {1, 1},
+	isa.CALL: {1, 1}, isa.INT: {1, 1},
+}
+
 func checkArity(op isa.Op, n int) string {
-	want := map[isa.Op][2]int{
-		isa.NOP: {0, 0}, isa.HLT: {0, 0}, isa.RET: {0, 0},
-		isa.CPUID: {0, 0}, isa.RDTSC: {0, 0},
-		isa.MOV: {2, 2}, isa.MOVB: {2, 2}, isa.LEA: {2, 2},
-		isa.ADD: {2, 2}, isa.SUB: {2, 2}, isa.AND: {2, 2}, isa.OR: {2, 2},
-		isa.XOR: {2, 2}, isa.MUL: {2, 2}, isa.DIVOP: {2, 2}, isa.MODOP: {2, 2},
-		isa.SHL: {2, 2}, isa.SHR: {2, 2},
-		isa.CMP: {2, 2}, isa.TEST: {2, 2},
-		isa.NOT: {1, 1}, isa.NEG: {1, 1}, isa.INC: {1, 1}, isa.DEC: {1, 1},
-		isa.PUSH: {1, 1}, isa.POP: {1, 1},
-		isa.JMP: {1, 1}, isa.JZ: {1, 1}, isa.JNZ: {1, 1},
-		isa.JL: {1, 1}, isa.JLE: {1, 1}, isa.JG: {1, 1}, isa.JGE: {1, 1},
-		isa.CALL: {1, 1}, isa.INT: {1, 1},
-	}
-	w, ok := want[op]
+	w, ok := opArity[op]
 	if !ok {
 		return fmt.Sprintf("mnemonic %v not writable in assembly", op)
 	}
@@ -645,6 +691,12 @@ func (a *assembler) tryNumber(s string) (uint32, bool) {
 	if s[0] == '-' {
 		neg = true
 		s = s[1:]
+	}
+	if s == "" || s[0] < '0' || s[0] > '9' {
+		// Not a number. The early out matters: most callers probe
+		// symbol names through here, and ParseUint allocates an error
+		// for every non-numeric string.
+		return 0, false
 	}
 	v, err := strconv.ParseUint(s, 0, 32)
 	if err != nil {

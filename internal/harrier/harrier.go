@@ -68,6 +68,15 @@ type Config struct {
 	// Tiering requires both Dataflow and BBFrequency; detections and
 	// reported tag sets are bit-identical across tiers.
 	PromoteThreshold int
+	// TraceThreshold is the second promotion point: a summarized block
+	// whose counter reaches it is compiled into a superblock trace —
+	// hot blocks chained across predicted edges and executed (taint
+	// transfer fused with concrete semantics) in a single hook call,
+	// with a clean-taint gate that skips the transfer entirely while
+	// the trace's taint effect is provably stationary (see trace.go).
+	// 0 disables the trace tier; blocks stop at the summary tier.
+	// Requires tiering (PromoteThreshold > 0) to be reachable at all.
+	TraceThreshold int
 }
 
 // DefaultConfig enables all modules.
@@ -78,6 +87,7 @@ func DefaultConfig() Config {
 		CloneRateWindow:  20_000,
 		KeepEventLog:     true,
 		PromoteThreshold: 64,
+		TraceThreshold:   256,
 	}
 }
 
@@ -113,6 +123,15 @@ type Stats struct {
 	TierPinned   uint64 // blocks found unmodelable, pinned to interpreter
 	TierDemoted  uint64 // summaries dropped by execve invalidation
 	TierHits     uint64 // block entries served by a summary
+
+	// Trace tier counters (see trace.go). TraceHits is included in
+	// Blocks: each chained block entry inside a trace counts exactly as
+	// the interpreter tier would count it.
+	TraceCompiled    uint64 // superblock traces compiled
+	TraceHits        uint64 // block entries served inside a trace
+	TraceSideExits   uint64 // trace runs ended by a mispredicted branch
+	GateSkips        uint64 // trace runs served by the clean-taint gate
+	TierTraceDemoted uint64 // traces dropped by execve invalidation
 
 	TaintSets       int    // distinct source sets interned
 	TaintUnions     uint64 // union operations performed
@@ -158,7 +177,10 @@ type Harrier struct {
 	// tierThreshold caches Config.PromoteThreshold as the counter's
 	// type, non-zero only when the config combination supports tiering
 	// (Dataflow + BBFrequency). One int64 compare per block entry.
-	tierThreshold int64
+	// traceThreshold is the same for Config.TraceThreshold, non-zero
+	// only when the summary tier underneath it is armed.
+	tierThreshold  int64
+	traceThreshold int64
 
 	cloneCount int64
 	cloneTimes []uint64
@@ -200,6 +222,9 @@ func New(cfg Config, sec *secpert.Secpert) *Harrier {
 	}
 	if cfg.Dataflow && cfg.BBFrequency && cfg.PromoteThreshold > 0 {
 		h.tierThreshold = int64(cfg.PromoteThreshold)
+		if cfg.TraceThreshold > 0 {
+			h.traceThreshold = int64(cfg.TraceThreshold)
+		}
 	}
 	return h
 }

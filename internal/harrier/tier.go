@@ -17,6 +17,13 @@ import (
 //     that compilation was attempted and must not be retried: the
 //     block stays in the interpreter tier permanently.
 //
+// A summarized block that stays hot climbs once more: when its counter
+// reaches Config.TraceThreshold, the summary-tier handler compiles a
+// superblock trace (trace.go) rooted at the block and installs it in
+// the same slot, keeping the summary as the trace head for budget
+// fallback. A block whose trace compilation yields nothing is pinned
+// at the summary tier via blockSummary.traceTried.
+//
 // Demotion happens on execve: the process's code map is about to be
 // torn down, so PreExec drops every summary installed on its spans
 // (spans can be shared with a forked parent, which simply re-promotes
@@ -35,10 +42,11 @@ type tierPinned struct{}
 // belongs to the application image.
 type blockSummary struct {
 	Summary
-	owner *Harrier
-	ctr   *int64
-	key   bbKey
-	isApp bool
+	owner      *Harrier
+	ctr        *int64
+	key        bbKey
+	isApp      bool
+	traceTried bool
 }
 
 // maybePromote is the tier transition, called from collectBBFrequency
@@ -71,17 +79,57 @@ func (h *Harrier) maybePromote(c *isa.CPU, s *isa.Span, leader int, key bbKey, c
 	}
 }
 
-// onBBSummary is the Hooks.OnBBSummary handler: the whole-block fast
-// path. It reproduces exactly what one interpreter-tier traversal of
-// the block performs — the frequency count, the last-app attribution,
-// the instrumented-instruction statistics with their sampling
-// boundary, and the taint transfer — then reports acceptance so the
-// fetch loop suppresses OnBB/OnInstr for the block.
-func (h *Harrier) onBBSummary(c *isa.CPU, s *isa.Span, leader int, summary any) bool {
-	sum, ok := summary.(*blockSummary)
-	if !ok || sum.owner != h || c.Shadow == nil {
-		return false
+// onBBSummary is the Hooks.OnBBSummary handler: the whole-block (or
+// whole-trace) fast path. A *blockSummary entry may first climb to the
+// trace tier if its counter has reached the trace threshold; otherwise
+// the summary is applied and the fetch loop executes the block with
+// OnBB/OnInstr suppressed. A *blockTrace entry executes the compiled
+// trace outright — the fetch loop skips the covered instructions
+// entirely.
+func (h *Harrier) onBBSummary(c *isa.CPU, s *isa.Span, leader int, summary any) (isa.SummaryAction, error) {
+	switch sum := summary.(type) {
+	case *blockSummary:
+		if sum.owner != h || c.Shadow == nil {
+			return isa.SummaryDecline, nil
+		}
+		if h.traceThreshold > 0 && !sum.traceTried && *sum.ctr >= h.traceThreshold {
+			sum.traceTried = true
+			if tr := h.maybeTrace(c, s, leader, sum); tr != nil {
+				s.SetBBSummary(leader, tr)
+				return h.enterTrace(c, tr)
+			}
+		}
+		h.applySummary(c, sum)
+		return isa.SummaryBlock, nil
+	case *blockTrace:
+		if sum.head.owner != h || c.Shadow == nil {
+			return isa.SummaryDecline, nil
+		}
+		return h.enterTrace(c, sum)
 	}
+	return isa.SummaryDecline, nil
+}
+
+// enterTrace dispatches a trace entry. When the remaining quantum
+// cannot fit even the first block, the head summary runs instead —
+// the trace would immediately budget-exit at its first mBBEnter
+// without retiring anything, so the entry must make progress the
+// summary way. This also guarantees the executor that the head block
+// never budget-exits.
+func (h *Harrier) enterTrace(c *isa.CPU, tr *blockTrace) (isa.SummaryAction, error) {
+	budget := c.TraceBudget
+	if budget > 0 && tr.blocks[0].instrs > budget {
+		h.applySummary(c, tr.head)
+		return isa.SummaryBlock, nil
+	}
+	return isa.SummaryTrace, h.runTrace(c, tr, budget)
+}
+
+// applySummary reproduces exactly what one interpreter-tier traversal
+// of the block performs — the frequency count, the last-app
+// attribution, the instrumented-instruction statistics with their
+// sampling boundary, and the taint transfer.
+func (h *Harrier) applySummary(c *isa.CPU, sum *blockSummary) {
 	h.stats.Blocks++
 	h.stats.TierHits++
 	ctr := sum.ctr
@@ -113,7 +161,6 @@ func (h *Harrier) onBBSummary(c *isa.CPU, s *isa.Span, leader int, summary any) 
 		h.publishTaintSample(c)
 	}
 	h.applyOps(c, sum.ops)
-	return true
 }
 
 // publishBBRoll emits the rollover event for a summary-tier counter;
@@ -131,15 +178,22 @@ func (h *Harrier) publishBBRoll(c *isa.CPU, sum *blockSummary, n int64) {
 
 // PreExec implements vos.PreExecMonitor: execve is about to tear down
 // p's code map, so every summary compiled against its spans is
-// dropped. Summaries owned by this Harrier count as demotions; pinned
-// markers are dropped too (a span surviving via a forked relative may
-// re-attempt compilation — compilation is deterministic, so it pins
-// again).
+// dropped. Summaries and traces owned by this Harrier count as
+// demotions; pinned markers are dropped too (a span surviving via a
+// forked relative may re-attempt compilation — compilation is
+// deterministic, so it pins again).
 func (h *Harrier) PreExec(p *vos.Process) {
 	for _, s := range p.CPU.Code.Spans() {
 		for i := range s.Instrs {
-			if sum, ok := s.BBSummary(i).(*blockSummary); ok && sum.owner == h {
-				h.stats.TierDemoted++
+			switch sum := s.BBSummary(i).(type) {
+			case *blockSummary:
+				if sum.owner == h {
+					h.stats.TierDemoted++
+				}
+			case *blockTrace:
+				if sum.head.owner == h {
+					h.stats.TierTraceDemoted++
+				}
 			}
 		}
 		s.DropSummaries()

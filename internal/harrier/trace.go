@@ -1,0 +1,1387 @@
+package harrier
+
+import (
+	"repro/internal/isa"
+	"repro/internal/obs"
+	"repro/internal/taint"
+)
+
+// This file is the third execution tier of the tiered taint engine:
+// superblock traces. Where the summary tier (tier.go / summary.go)
+// replaces per-instruction dispatch with one taint-transfer call per
+// block and still lets the interpreter execute the block's
+// instructions, a trace goes the rest of the way: it chains hot blocks
+// across unconditional and predicted-conditional edges into one linear
+// sequence of fused micro-ops (mops) and *executes* them — taint
+// transfer and concrete semantics together — in a single hook call.
+// The interpreter's fetch/decode/hook loop disappears entirely for as
+// long as execution follows the traced path.
+//
+// Each mop reproduces one guest instruction in the interpreter's
+// order: the Track_DataFlow transfer first (the OnInstr hook runs
+// before the instruction executes), then the concrete operation.
+// Conditional branches are evaluated against live flags; when the
+// actual direction disagrees with the traced direction the run side-
+// exits, leaving EIP at the untraced target so the interpreter (or a
+// summary, or another trace) picks up at a genuine block entry. Every
+// run of a trace therefore executes a *prefix* of the recorded path,
+// which is what makes the exit protocol and the clean-taint gate below
+// sound.
+//
+// The clean-taint gate is the dynamic form of the partial-
+// instrumentation observation (PAPERS.md, Thakur 2024): the vast
+// majority of hot code moves already-tagged data over identically-
+// tagged destinations, so its taint transfer is a no-op. The gate
+// detects that stationarity per trace. A *verify* run executes the
+// full transfer while checking that no register tag and no shadow tag
+// actually changed (shadow changes are observable as a Shadow.Gen
+// movement, register changes via compare-before-write). A clean verify
+// run installs a gate entry keyed by everything the trace's taint
+// effect can depend on: the shadow (identity and generation), the
+// entry tags of all eight registers, and the concrete entry values of
+// the registers that form taint-relevant addresses (found by running
+// the summary compiler's symbolic address domain over the whole path —
+// a trace whose taint addresses are not expressible as entry-register
+// + displacement is never gated). A later entry matching the key runs
+// the *bare* variant — concrete execution only, no taint transfer at
+// all — up to the mop index the verify run covered. Prefix soundness:
+// each verified mop's transfer depends only on the keyed state, so
+// skipping it is exact, not approximate; detections stay bit-identical
+// (TestTraceDifferentialSweep) while the gated loop pays zero shadow
+// and union traffic.
+const (
+	// traceMaxInstrs caps the guest instructions one trace may retire,
+	// below the scheduler's 128-instruction slice so a full run fits a
+	// fresh quantum; traceMaxBlocks bounds loop unrolling.
+	traceMaxInstrs = 96
+	traceMaxBlocks = 32
+	// traceNoBase in a mop base slot marks an absolute address.
+	traceNoBase = 0xFF
+	// Clean-taint gate geometry: cached verdicts per trace, and the
+	// most address-forming entry registers a gated trace may have.
+	// Ways are sized for loops whose entry register values cycle
+	// through more phases than a handful (scheduler slices cutting a
+	// loop trace at varying offsets produce exactly that pattern).
+	traceGateWays = 16
+	traceGateRegs = 4
+)
+
+// mopCode selects a fused micro-op. The set covers every instruction
+// shape the dataflow analysis tracks plus compares and predicted
+// branches; shapes the interpreter would fault on (writes to
+// immediates, POP into memory) end the trace at compile time instead.
+type mopCode uint8
+
+const (
+	mBBEnter mopCode = iota // block boundary: budget check + per-block effects
+	mBr                     // conditional branch, predicted direction
+
+	mMovRR // mov reg, reg
+	mMovRI // mov reg, imm
+	mMovRM // mov reg, [mem]
+	mMovMR // mov [mem], reg
+	mMovMI // mov [mem], imm
+	mMovMM // mov [mem], [mem]
+
+	mMovbRR // movb variants (byte granularity)
+	mMovbRI
+	mMovbRM
+	mMovbMR
+	mMovbMI
+	mMovbMM
+
+	mLea   // lea reg, [mem]
+	mZeroR // xor/sub reg,reg zeroing idiom
+
+	mAluRR // dst = dst OP src, flags
+	mAluRI
+	mAluRM
+	mAluMR
+	mAluMI
+	mAluMM
+
+	mUnR // not/neg/inc/dec reg
+	mUnM // not/neg/inc/dec [mem]
+
+	mCmpRR // cmp/test: flags only
+	mCmpRI
+	mCmpRM
+	mCmpMR
+	mCmpMI
+	mCmpMM
+
+	mPushR
+	mPushI
+	mPushM
+	mPopR
+
+	mCpuid
+	mRdtsc
+)
+
+// mop is one fused micro-op: taint transfer plus concrete execution
+// of a single guest instruction. Memory addresses resolve against the
+// *live* register file (base + disp), exactly as the interpreter
+// would at that point of the block — no symbolic entry-relative form
+// is needed because mops run in program order.
+type mop struct {
+	code  mopCode
+	aop   uint8 // ALU/unary/compare opcode, or branch opcode for mBr
+	reg   uint8 // destination register (source for the MR store shapes)
+	reg2  uint8 // source register (RR shapes)
+	base  uint8 // A-side (destination) memory base; traceNoBase = absolute
+	base2 uint8 // B-side (source) memory base; traceNoBase = absolute
+	pred  bool  // mBr: the traced direction is "taken"
+	disp  uint32 // A-side displacement / RI immediate / mBr taken target / mBBEnter block index
+	disp2 uint32 // B-side displacement / MI immediate / mBr fall-through target
+	tag   taint.Tag // compile-time tag operand (BINARY of the owning image)
+}
+
+// mopInfo is the cold half of a mop, consulted only at exits and
+// block boundaries: the instruction's guest address and the cumulative
+// guest-instruction / data-instruction counts through it (through the
+// *preceding* instruction for mBBEnter). Interleaved instructions that
+// emit no mop — NOPs and followed unconditional jumps — are counted
+// here, which is what keeps Steps and the scheduler's quantum
+// accounting bit-identical to the interpreter across tiers.
+type mopInfo struct {
+	addr  uint32
+	steps uint16
+	nData uint16
+}
+
+// traceBlock is the per-block context of one chained (possibly
+// unrolled) block: its frequency counter, attribution key, and how the
+// traced path arrives at it (entryJumped mirrors the interpreter's
+// jumped flag for a budget exit at this leader). instrs is the whole
+// block's instruction count, used by the budget check at its entry.
+type traceBlock struct {
+	ctr         *int64
+	key         bbKey
+	isApp       bool
+	entryJumped bool
+	instrs      int
+}
+
+// gateEnt is one cached clean-taint verdict: with this shadow at this
+// generation, these entry register tags and these address-register
+// values, the trace's taint transfer is a no-op through mop index end.
+type gateEnt struct {
+	sh   *taint.Shadow
+	gen  uint64
+	end  int
+	vals [traceGateRegs]uint32
+	tags [isa.NumRegs]taint.Tag
+}
+
+// blockTrace is a compiled superblock trace, installed in the entry
+// leader's summary slot in place of its *blockSummary (which it keeps
+// as head, both for ownership checks and as the fallback when the
+// remaining quantum cannot fit even the first block).
+type blockTrace struct {
+	head   *blockSummary
+	mops   []mop
+	info   []mopInfo
+	blocks []traceBlock
+
+	nInstr    uint16 // instructions retired by a full run
+	nData     uint16 // data-moving instructions instrumented by a full run
+	endEIP    uint32 // exit point of a full run
+	endJumped bool
+
+	// Clean-taint gate state. gateOK is decided at compile time; the
+	// entries are filled by verify runs and replaced round-robin.
+	gateOK bool
+	nIn    int
+	inRegs [traceGateRegs]uint8
+	gate   [traceGateWays]gateEnt
+	gateN  int
+	gateRR int
+}
+
+// ea resolves the A-side (destination) memory address of a mop.
+func (op *mop) ea(c *isa.CPU) uint32 {
+	if op.base != traceNoBase {
+		return c.Regs[op.base] + op.disp
+	}
+	return op.disp
+}
+
+// ea2 resolves the B-side (source) memory address of a mop.
+func (op *mop) ea2(c *isa.CPU) uint32 {
+	if op.base2 != traceNoBase {
+		return c.Regs[op.base2] + op.disp2
+	}
+	return op.disp2
+}
+
+// --- trace compilation --------------------------------------------
+
+// traceCompiler walks the hot path from a head leader, chaining block
+// after block into the mop program. It carries the summary compiler's
+// symbolic address domain (sc) in parallel — not for emission, but to
+// decide clean-taint gate eligibility: the gate is sound only when
+// every taint-touching address of the whole path is expressible as
+// entry-register + displacement.
+type traceCompiler struct {
+	h      *Harrier
+	s      *isa.Span
+	bin    taint.Tag
+	mops   []mop
+	info   []mopInfo
+	blocks []traceBlock
+	steps  int
+	nData  int
+
+	sc     sumCompiler
+	gateOK bool
+
+	endEIP    uint32
+	endJumped bool
+}
+
+// maybeTrace compiles a superblock trace rooted at leader and
+// publishes the promotion event. It returns nil when the head block
+// yields no traceable prefix (the caller pins the attempt on the
+// summary so it is never retried).
+func (h *Harrier) maybeTrace(c *isa.CPU, s *isa.Span, leader int, head *blockSummary) *blockTrace {
+	tr := h.compileTrace(s, leader, head)
+	if tr == nil {
+		return nil
+	}
+	h.stats.TraceCompiled++
+	if h.bus != nil {
+		if p := procOf(c); p != nil {
+			h.bus.Publish(obs.Event{
+				Time: p.OS.Clock, Layer: obs.LayerHarrier, Kind: obs.KindBBTrace,
+				PID: int32(p.PID), Num: uint64(head.key.addr), Num2: uint64(len(tr.mops)),
+				Str: head.key.image,
+			})
+		}
+	}
+	return tr
+}
+
+// traceCtr resolves (or creates) the frequency counter of a chained
+// block; chained blocks may never have been entered directly.
+func (h *Harrier) traceCtr(key bbKey) *int64 {
+	ctr := h.bbFreq[key]
+	if ctr == nil {
+		ctr = new(int64)
+		h.bbFreq[key] = ctr
+	}
+	return ctr
+}
+
+// compileTrace builds the mop program for the superblock rooted at
+// leader. Chaining follows in-span unconditional jumps and predicted
+// conditional edges (backward target = taken, the classic loop
+// heuristic) until a cap, an un-traceable instruction, or an
+// un-followable terminal ends the path. The terminal is *not*
+// consumed: the trace exits with EIP on it and the interpreter
+// executes it with its ordinary hooks, so CALL/RET/INT/NATIVE/HLT
+// semantics never need replicating here.
+func (h *Harrier) compileTrace(s *isa.Span, leader int, head *blockSummary) *blockTrace {
+	bin := h.binTag(s.Image)
+	tc := &traceCompiler{h: h, s: s, bin: bin, gateOK: true}
+	tc.sc = sumCompiler{st: h.Store, bin: bin, hw: h.hwTag}
+	for r := range tc.sc.sym {
+		tc.sc.sym[r] = symVal{kind: symRegOff, reg: isa.Reg(r)}
+	}
+
+	cur := leader
+	arrived := true // the head is always entered through the dispatch hook
+walk:
+	for {
+		last := cur
+		for last+1 < len(s.Instrs) && s.BBLeader[last+1] == cur {
+			last++
+		}
+		blockN := last - cur + 1
+		if len(tc.blocks) >= traceMaxBlocks || tc.steps+blockN > traceMaxInstrs {
+			tc.endEIP, tc.endJumped = s.Addr(cur), arrived
+			break walk
+		}
+		bIdx := len(tc.blocks)
+		mopStart := len(tc.mops)
+		key := bbKey{s.Image, s.Addr(cur)}
+		tc.blocks = append(tc.blocks, traceBlock{
+			ctr: h.traceCtr(key), key: key, isApp: head.isApp,
+			entryJumped: arrived, instrs: blockN,
+		})
+		tc.emit(mop{code: mBBEnter, disp: uint32(bIdx)}, s.Addr(cur))
+		consumed := 0
+		for i := cur; i <= last; i++ {
+			in := &s.Instrs[i]
+			if in.Op.IsControlTransfer() {
+				// Only the block's final instruction can be a transfer.
+				if in.Op == isa.JMP && in.A.Kind == isa.ImmOperand && s.Contains(in.A.Imm) {
+					// Followed jump: consumed, but emits no mop.
+					tc.steps++
+					tc.scStep(in)
+					cur, arrived = s.Index(in.A.Imm), true
+					continue walk
+				}
+				if in.Op.IsCondJump() && in.A.Kind == isa.ImmOperand {
+					taken := in.A.Imm
+					fall := s.Addr(i) + isa.InstrSize
+					takenIn := s.Contains(taken)
+					fallIn := i+1 < len(s.Instrs)
+					var pred bool
+					switch {
+					case takenIn && taken <= s.Addr(i):
+						pred = true // backward branch: predict the loop edge
+					case fallIn:
+						pred = false
+					case takenIn:
+						pred = true
+					default:
+						tc.endBefore(i, cur, bIdx, mopStart, consumed, arrived)
+						break walk
+					}
+					tc.steps++
+					tc.scStep(in)
+					tc.emit(mop{
+						code: mBr, aop: uint8(in.Op), pred: pred,
+						disp: taken, disp2: fall,
+					}, s.Addr(i))
+					if pred {
+						cur = s.Index(taken)
+					} else {
+						cur = i + 1
+					}
+					arrived = true // the interpreter marks cond jumps as transfers either way
+					continue walk
+				}
+				// CALL/RET/INT/NATIVE/HLT, or a jump the path cannot
+				// follow: leave it to the interpreter.
+				tc.endBefore(i, cur, bIdx, mopStart, consumed, arrived)
+				break walk
+			}
+			if !tc.instr(i, in) {
+				tc.endBefore(i, cur, bIdx, mopStart, consumed, arrived)
+				break walk
+			}
+			consumed++
+		}
+		if tc.endEIP != 0 || len(tc.blocks) == 0 {
+			break walk // endBefore fired from the body loop
+		}
+		if last+1 >= len(s.Instrs) {
+			// The block runs off the span without a transfer; the
+			// interpreter faults on the next fetch exactly here.
+			tc.endEIP, tc.endJumped = s.End(), false
+			break walk
+		}
+		cur, arrived = last+1, false // fall-through into the next leader
+	}
+	if tc.steps == 0 {
+		return nil
+	}
+	tr := &blockTrace{
+		head: head, mops: tc.mops, info: tc.info, blocks: tc.blocks,
+		nInstr: uint16(tc.steps), nData: uint16(tc.nData),
+		endEIP: tc.endEIP, endJumped: tc.endJumped,
+		gateOK: tc.gateOK,
+	}
+	if tr.gateOK {
+		tr.collectGateRegs(tc.sc.ops)
+	}
+	return tr
+}
+
+// endBefore ends the path at instruction i without consuming it. If
+// the current block contributed nothing yet, the block itself is
+// rolled back so the interpreter's OnBB at the exit leader is the
+// block's one and only entry; otherwise the exit lands mid-block,
+// where the interpreter resumes without a block-entry hook.
+func (tc *traceCompiler) endBefore(i, leader, bIdx, mopStart, consumed int, arrived bool) {
+	if consumed == 0 {
+		tc.mops = tc.mops[:mopStart]
+		tc.info = tc.info[:mopStart]
+		tc.blocks = tc.blocks[:bIdx]
+		tc.endEIP, tc.endJumped = tc.s.Addr(leader), arrived
+		return
+	}
+	tc.endEIP, tc.endJumped = tc.s.Addr(i), false
+}
+
+func (tc *traceCompiler) emit(m mop, addr uint32) {
+	tc.mops = append(tc.mops, m)
+	tc.info = append(tc.info, mopInfo{addr: addr, steps: uint16(tc.steps), nData: uint16(tc.nData)})
+}
+
+// scStep advances the symbolic address domain across one consumed
+// instruction; the first inexpressible address disables the gate for
+// the whole trace (the trace itself stays valid — it simply always
+// runs with full taint transfer).
+func (tc *traceCompiler) scStep(in *isa.Instr) {
+	if tc.gateOK && !tc.sc.instr(in) {
+		tc.gateOK = false
+	}
+}
+
+// instr emits the fused mop for one non-control instruction,
+// returning false when the shape is un-traceable (operand forms the
+// interpreter faults on, POP into memory with its pre/post-ESP
+// address split, statically-zero divisors, undefined opcodes).
+func (tc *traceCompiler) instr(i int, in *isa.Instr) bool {
+	aBase, aDisp := traceNoBase, uint32(0)
+	bBase, bDisp := traceNoBase, uint32(0)
+	if in.A.Kind == isa.MemOperand {
+		if in.A.HasBase {
+			aBase = int(in.A.Reg)
+		}
+		aDisp = in.A.Imm
+	}
+	if in.B.Kind == isa.MemOperand {
+		if in.B.HasBase {
+			bBase = int(in.B.Reg)
+		}
+		bDisp = in.B.Imm
+	}
+	var m mop
+	switch in.Op {
+	case isa.NOP:
+		tc.steps++
+		tc.scStep(in)
+		return true
+
+	case isa.MOV, isa.MOVB:
+		var codes [6]mopCode
+		if in.Op == isa.MOV {
+			codes = [6]mopCode{mMovRR, mMovRI, mMovRM, mMovMR, mMovMI, mMovMM}
+		} else {
+			codes = [6]mopCode{mMovbRR, mMovbRI, mMovbRM, mMovbMR, mMovbMI, mMovbMM}
+		}
+		switch {
+		case in.A.Kind == isa.RegOperand && in.B.Kind == isa.RegOperand:
+			m = mop{code: codes[0], reg: uint8(in.A.Reg), reg2: uint8(in.B.Reg)}
+		case in.A.Kind == isa.RegOperand && in.B.Kind == isa.ImmOperand:
+			m = mop{code: codes[1], reg: uint8(in.A.Reg), disp: in.B.Imm, tag: tc.bin}
+		case in.A.Kind == isa.RegOperand && in.B.Kind == isa.MemOperand:
+			m = mop{code: codes[2], reg: uint8(in.A.Reg), base2: uint8(bBase), disp2: bDisp}
+		case in.A.Kind == isa.MemOperand && in.B.Kind == isa.RegOperand:
+			m = mop{code: codes[3], base: uint8(aBase), disp: aDisp, reg: uint8(in.B.Reg)}
+		case in.A.Kind == isa.MemOperand && in.B.Kind == isa.ImmOperand:
+			m = mop{code: codes[4], base: uint8(aBase), disp: aDisp, disp2: in.B.Imm, tag: tc.bin}
+		case in.A.Kind == isa.MemOperand && in.B.Kind == isa.MemOperand:
+			m = mop{code: codes[5], base: uint8(aBase), disp: aDisp, base2: uint8(bBase), disp2: bDisp}
+		default:
+			return false
+		}
+
+	case isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.MUL, isa.DIVOP, isa.MODOP, isa.SHL, isa.SHR:
+		if (in.Op == isa.XOR || in.Op == isa.SUB) &&
+			in.A.Kind == isa.RegOperand && in.B.Kind == isa.RegOperand &&
+			in.A.Reg == in.B.Reg {
+			m = mop{code: mZeroR, reg: uint8(in.A.Reg)}
+			break
+		}
+		if (in.Op == isa.DIVOP || in.Op == isa.MODOP) &&
+			in.B.Kind == isa.ImmOperand && in.B.Imm == 0 {
+			return false // statically faults; leave it to the interpreter
+		}
+		aop := uint8(in.Op)
+		switch {
+		case in.A.Kind == isa.RegOperand && in.B.Kind == isa.RegOperand:
+			m = mop{code: mAluRR, aop: aop, reg: uint8(in.A.Reg), reg2: uint8(in.B.Reg)}
+		case in.A.Kind == isa.RegOperand && in.B.Kind == isa.ImmOperand:
+			m = mop{code: mAluRI, aop: aop, reg: uint8(in.A.Reg), disp: in.B.Imm, tag: tc.bin}
+		case in.A.Kind == isa.RegOperand && in.B.Kind == isa.MemOperand:
+			m = mop{code: mAluRM, aop: aop, reg: uint8(in.A.Reg), base2: uint8(bBase), disp2: bDisp}
+		case in.A.Kind == isa.MemOperand && in.B.Kind == isa.RegOperand:
+			m = mop{code: mAluMR, aop: aop, base: uint8(aBase), disp: aDisp, reg: uint8(in.B.Reg)}
+		case in.A.Kind == isa.MemOperand && in.B.Kind == isa.ImmOperand:
+			m = mop{code: mAluMI, aop: aop, base: uint8(aBase), disp: aDisp, disp2: in.B.Imm, tag: tc.bin}
+		case in.A.Kind == isa.MemOperand && in.B.Kind == isa.MemOperand:
+			m = mop{code: mAluMM, aop: aop, base: uint8(aBase), disp: aDisp, base2: uint8(bBase), disp2: bDisp}
+		default:
+			return false
+		}
+
+	case isa.LEA:
+		if in.A.Kind != isa.RegOperand || in.B.Kind != isa.MemOperand {
+			return false
+		}
+		m = mop{code: mLea, reg: uint8(in.A.Reg), base2: uint8(bBase), disp2: bDisp, tag: tc.bin}
+
+	case isa.NOT, isa.NEG, isa.INC, isa.DEC:
+		switch in.A.Kind {
+		case isa.RegOperand:
+			m = mop{code: mUnR, aop: uint8(in.Op), reg: uint8(in.A.Reg), tag: tc.bin}
+		case isa.MemOperand:
+			m = mop{code: mUnM, aop: uint8(in.Op), base: uint8(aBase), disp: aDisp, tag: tc.bin}
+		default:
+			return false
+		}
+
+	case isa.CMP, isa.TEST:
+		aop := uint8(in.Op)
+		switch {
+		case in.A.Kind == isa.RegOperand && in.B.Kind == isa.RegOperand:
+			m = mop{code: mCmpRR, aop: aop, reg: uint8(in.A.Reg), reg2: uint8(in.B.Reg)}
+		case in.A.Kind == isa.RegOperand && in.B.Kind == isa.ImmOperand:
+			m = mop{code: mCmpRI, aop: aop, reg: uint8(in.A.Reg), disp: in.B.Imm}
+		case in.A.Kind == isa.RegOperand && in.B.Kind == isa.MemOperand:
+			m = mop{code: mCmpRM, aop: aop, reg: uint8(in.A.Reg), base2: uint8(bBase), disp2: bDisp}
+		case in.A.Kind == isa.MemOperand && in.B.Kind == isa.RegOperand:
+			m = mop{code: mCmpMR, aop: aop, base: uint8(aBase), disp: aDisp, reg: uint8(in.B.Reg)}
+		case in.A.Kind == isa.MemOperand && in.B.Kind == isa.ImmOperand:
+			m = mop{code: mCmpMI, aop: aop, base: uint8(aBase), disp: aDisp, disp2: in.B.Imm}
+		case in.A.Kind == isa.MemOperand && in.B.Kind == isa.MemOperand:
+			m = mop{code: mCmpMM, aop: aop, base: uint8(aBase), disp: aDisp, base2: uint8(bBase), disp2: bDisp}
+		default:
+			return false
+		}
+
+	case isa.PUSH:
+		switch in.A.Kind {
+		case isa.RegOperand:
+			m = mop{code: mPushR, reg: uint8(in.A.Reg)}
+		case isa.ImmOperand:
+			m = mop{code: mPushI, disp: in.A.Imm, tag: tc.bin}
+		case isa.MemOperand:
+			// The push source rides the B-side slots.
+			if in.A.HasBase {
+				m = mop{code: mPushM, base2: uint8(in.A.Reg), disp2: in.A.Imm}
+			} else {
+				m = mop{code: mPushM, base2: traceNoBase, disp2: in.A.Imm}
+			}
+		default:
+			return false
+		}
+
+	case isa.POP:
+		if in.A.Kind != isa.RegOperand {
+			// POP [mem]: the interpreter resolves the taint address with
+			// the pre-pop ESP but the concrete address with the post-pop
+			// ESP; not worth replicating.
+			return false
+		}
+		m = mop{code: mPopR, reg: uint8(in.A.Reg)}
+
+	case isa.CPUID:
+		m = mop{code: mCpuid}
+	case isa.RDTSC:
+		m = mop{code: mRdtsc}
+
+	default:
+		return false
+	}
+	tc.steps++
+	if in.Op.MovesData() {
+		tc.nData++
+	}
+	tc.scStep(in)
+	tc.emit(m, tc.s.Addr(i))
+	return true
+}
+
+// collectGateRegs extracts, from the symbolic pass's (discarded) op
+// list, the set of entry registers that form taint-relevant addresses
+// — the registers whose concrete values a gate entry must key on.
+// More than traceGateRegs distinct bases disables the gate.
+func (tr *blockTrace) collectGateRegs(ops []sumOp) {
+	var mask uint32
+	for i := range ops {
+		op := &ops[i]
+		switch op.code {
+		case cRegLoadW, cRegLoadB, cRegUnionLoadW:
+			if op.bBase != sumNoBase {
+				mask |= 1 << op.bBase
+			}
+		case cStoreWReg, cStoreWTag, cStoreBReg, cStoreBTag, cMemUnionReg, cMemUnionTag:
+			if op.aBase != sumNoBase {
+				mask |= 1 << op.aBase
+			}
+		case cMemUnionLoadW, cMemCopyW, cMemCopyB:
+			if op.aBase != sumNoBase {
+				mask |= 1 << op.aBase
+			}
+			if op.bBase != sumNoBase {
+				mask |= 1 << op.bBase
+			}
+		}
+	}
+	for r := uint8(0); r < uint8(isa.NumRegs); r++ {
+		if mask&(1<<r) == 0 {
+			continue
+		}
+		if tr.nIn == traceGateRegs {
+			tr.gateOK = false
+			tr.nIn = 0
+			return
+		}
+		tr.inRegs[tr.nIn] = r
+		tr.nIn++
+	}
+}
+
+// --- trace execution ----------------------------------------------
+
+// traceExit describes where a trace run stopped: the architectural
+// exit point, the retired/instrumented instruction counts, the first
+// mop index this run did NOT cover (the gate entry's end), and the
+// guest fault if the run died on one.
+type traceExit struct {
+	eip     uint32
+	jumped  bool
+	steps   uint16
+	nData   uint16
+	nBlocks uint16
+	end     int
+	dirty   bool
+	lastB   *traceBlock
+	fault   *isa.Fault
+}
+
+// runTrace executes a compiled trace: gate probe, then the bare or
+// full-taint mop loop, then the exit protocol. budget is the
+// scheduler's remaining quantum (<= 0: unlimited); the caller has
+// already checked that the first block fits.
+func (h *Harrier) runTrace(c *isa.CPU, tr *blockTrace, budget int) error {
+	sh := c.Shadow
+	verify := false
+	var entGen uint64
+	var entVals [traceGateRegs]uint32
+	if tr.gateOK {
+		for k := 0; k < tr.nIn; k++ {
+			entVals[k] = c.Regs[tr.inRegs[k]]
+		}
+		entGen = sh.Gen()
+		hit := -1
+		for e := 0; e < tr.gateN; e++ {
+			g := &tr.gate[e]
+			if g.sh == sh && g.gen == entGen && g.vals == entVals && g.tags == c.RegTags {
+				hit = e
+				break
+			}
+		}
+		if hit >= 0 {
+			h.stats.GateSkips++
+			ex, cont := h.runTraceBare(c, tr, budget, tr.gate[hit].end)
+			if cont >= 0 {
+				// Bare mode ran past the verified prefix; finish the
+				// remainder with full taint transfer, keeping the bare
+				// phase's block-entry accounting.
+				bare, bareLast := ex.nBlocks, ex.lastB
+				ex = h.runTraceTaint(c, tr, budget, cont, false)
+				ex.nBlocks += bare
+				if ex.lastB == nil {
+					ex.lastB = bareLast
+				}
+			}
+			return h.finishTrace(c, tr, ex, false, 0, entVals)
+		}
+		verify = true
+	}
+	ex := h.runTraceTaint(c, tr, budget, 0, verify)
+	return h.finishTrace(c, tr, ex, verify, entGen, entVals)
+}
+
+// finishTrace applies the exit protocol: architectural exit point,
+// retired-step accounting, the batched instrumented-instruction
+// counter with its sampling boundary, and — for a clean verify run —
+// installation of a gate entry.
+func (h *Harrier) finishTrace(c *isa.CPU, tr *blockTrace, ex traceExit, verify bool, entGen uint64, entVals [traceGateRegs]uint32) error {
+	c.ExitTrace(ex.eip, ex.jumped)
+	c.Steps += uint64(ex.steps)
+	h.stats.Blocks += uint64(ex.nBlocks)
+	h.stats.TraceHits += uint64(ex.nBlocks)
+	if b := ex.lastB; b != nil && b.isApp {
+		// Write-behind app attribution, batched to one update per run:
+		// no observation point exists inside a trace (a syscall ends it
+		// at compile time), so only the last entered app block's key is
+		// ever visible.
+		if p := procOf(c); p != nil {
+			if p.PID != h.appCachePID {
+				h.flushApp()
+				h.appCachePID = p.PID
+			}
+			h.appCacheKey = b.key
+		}
+	}
+	old := h.stats.Instructions
+	h.stats.Instructions = old + uint64(ex.nData)
+	if h.bus != nil && old>>taintSampleShift != h.stats.Instructions>>taintSampleShift {
+		h.publishTaintSample(c)
+	}
+	if verify && ex.fault == nil && !ex.dirty && c.Shadow.Gen() == entGen {
+		// Nothing moved: the whole covered prefix is taint-stationary
+		// for this key. RegTags are still the entry tags (no write
+		// changed them), so the post-state doubles as the key. One
+		// entry per key: re-verifying the same key at the same
+		// generation only ever extends the covered prefix (a budget
+		// exit verifies a shorter prefix of the same stationary run),
+		// while a new generation replaces the stale verdict outright.
+		var g *gateEnt
+		for e := 0; e < tr.gateN; e++ {
+			x := &tr.gate[e]
+			if x.sh == c.Shadow && x.vals == entVals && x.tags == c.RegTags {
+				g = x
+				break
+			}
+		}
+		switch {
+		case g == nil:
+			tr.gate[tr.gateRR] = gateEnt{
+				sh: c.Shadow, gen: entGen, end: ex.end,
+				vals: entVals, tags: c.RegTags,
+			}
+			tr.gateRR = (tr.gateRR + 1) % traceGateWays
+			if tr.gateN < traceGateWays {
+				tr.gateN++
+			}
+		case g.gen == entGen:
+			if ex.end > g.end {
+				g.end = ex.end
+			}
+		default:
+			g.gen = entGen
+			g.end = ex.end
+		}
+	}
+	if ex.fault != nil {
+		return ex.fault
+	}
+	return nil
+}
+
+// traceBlockEnter performs the observable per-block side effects of
+// one chained block entry: the provenance register scan and the
+// counter-rollover event, at the same execution point the interpreter
+// tier would perform them. Only called when a recorder or bus is
+// attached — the mop loops otherwise keep block entry down to one
+// counter increment, with statistics batched at exit and last-app
+// attribution folded into finishTrace. consumed is the trace's
+// retired-instruction count before this block, which keeps event
+// timestamps on the interpreter's clock.
+//
+//go:noinline
+func (h *Harrier) traceBlockEnter(c *isa.CPU, b *traceBlock, consumed uint16) {
+	p := procOf(c)
+	if p == nil {
+		return
+	}
+	now := p.OS.Clock + uint64(consumed)
+	if h.prov != nil {
+		h.provBlockScan(c, now, int32(p.PID), b.key.addr, b.key.image, true)
+	}
+	if h.bus != nil && uint64(*b.ctr)&(bbRollQuantum-1) == 0 {
+		h.bus.Publish(obs.Event{
+			Time: now, Layer: obs.LayerHarrier, Kind: obs.KindBBRoll,
+			PID: int32(p.PID), Num: uint64(b.key.addr), Num2: uint64(*b.ctr),
+			Str: b.key.image,
+		})
+	}
+}
+
+// aluExec performs one ALU operation; ok is false on the runtime
+// division-by-zero fault.
+func aluExec(aop uint8, a, b uint32) (uint32, bool) {
+	switch isa.Op(aop) {
+	case isa.ADD:
+		return a + b, true
+	case isa.SUB:
+		return a - b, true
+	case isa.AND:
+		return a & b, true
+	case isa.OR:
+		return a | b, true
+	case isa.XOR:
+		return a ^ b, true
+	case isa.MUL:
+		return a * b, true
+	case isa.DIVOP:
+		if b == 0 {
+			return 0, false
+		}
+		return a / b, true
+	case isa.MODOP:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case isa.SHL:
+		return a << (b & 31), true
+	case isa.SHR:
+		return a >> (b & 31), true
+	}
+	return 0, false
+}
+
+// unExec performs one unary operation.
+func unExec(aop uint8, a uint32) uint32 {
+	switch isa.Op(aop) {
+	case isa.NOT:
+		return ^a
+	case isa.NEG:
+		return -a
+	case isa.INC:
+		return a + 1
+	}
+	return a - 1 // DEC
+}
+
+// brTaken evaluates a conditional-branch opcode against the flags.
+func brTaken(aop uint8, zf, lt bool) bool {
+	switch isa.Op(aop) {
+	case isa.JZ:
+		return zf
+	case isa.JNZ:
+		return !zf
+	case isa.JL:
+		return lt
+	case isa.JLE:
+		return lt || zf
+	case isa.JG:
+		return !lt && !zf
+	}
+	return !lt // JGE
+}
+
+// runTraceTaint is the full-transfer mop loop: every mop applies its
+// instruction's taint transfer first (the interpreter runs OnInstr
+// before executing) and its concrete semantics second. Register-tag
+// writes are compare-guarded — the guard both skips redundant stores
+// and feeds the verify mode's dirty flag. start lets a bare run hand
+// over mid-trace at a block boundary.
+func (h *Harrier) runTraceTaint(c *isa.CPU, tr *blockTrace, budget, start int, verify bool) (ex traceExit) {
+	_ = verify // dirty tracking is unconditional; the flag documents intent
+	sh := c.Shadow
+	st := h.Store
+	mem := c.Mem
+	zf, lt := c.ZF, c.LT
+	dirty := false
+	observed := h.prov != nil || h.bus != nil
+	var nBlocks uint16
+	var lastB *traceBlock
+	defer func() { ex.nBlocks, ex.lastB = nBlocks, lastB }()
+	mops, info := tr.mops, tr.info
+	for j := start; j < len(mops); j++ {
+		op := &mops[j]
+		switch op.code {
+		case mBBEnter:
+			b := &tr.blocks[op.disp]
+			if budget > 0 && int(info[j].steps)+b.instrs > budget {
+				c.ZF, c.LT = zf, lt
+				return traceExit{
+					eip: info[j].addr, jumped: b.entryJumped,
+					steps: info[j].steps, nData: info[j].nData,
+					end: j, dirty: dirty,
+				}
+			}
+			*b.ctr++
+			nBlocks++
+			lastB = b
+			if observed {
+				h.traceBlockEnter(c, b, info[j].steps)
+			}
+
+		case mBr:
+			if taken := brTaken(op.aop, zf, lt); taken != op.pred {
+				h.stats.TraceSideExits++
+				eip := op.disp2
+				if taken {
+					eip = op.disp
+				}
+				c.ZF, c.LT = zf, lt
+				return traceExit{
+					eip: eip, jumped: true,
+					steps: info[j].steps, nData: info[j].nData,
+					end: j + 1, dirty: dirty,
+				}
+			}
+
+		case mMovRR:
+			if t := c.RegTags[op.reg2]; c.RegTags[op.reg] != t {
+				c.RegTags[op.reg] = t
+				dirty = true
+			}
+			c.Regs[op.reg] = c.Regs[op.reg2]
+		case mMovRI:
+			if c.RegTags[op.reg] != op.tag {
+				c.RegTags[op.reg] = op.tag
+				dirty = true
+			}
+			c.Regs[op.reg] = op.disp
+		case mMovRM:
+			ea := op.ea2(c)
+			if t := sh.GetWord(ea); c.RegTags[op.reg] != t {
+				c.RegTags[op.reg] = t
+				dirty = true
+			}
+			c.Regs[op.reg] = mem.Load32(ea)
+		case mMovMR:
+			ea := op.ea(c)
+			sh.SetWord(ea, c.RegTags[op.reg])
+			mem.Store32(ea, c.Regs[op.reg])
+		case mMovMI:
+			ea := op.ea(c)
+			sh.SetWord(ea, op.tag)
+			mem.Store32(ea, op.disp2)
+		case mMovMM:
+			eaB := op.ea2(c)
+			eaA := op.ea(c)
+			sh.SetWord(eaA, sh.GetWord(eaB))
+			mem.Store32(eaA, mem.Load32(eaB))
+
+		case mMovbRR:
+			if t := c.RegTags[op.reg2]; c.RegTags[op.reg] != t {
+				c.RegTags[op.reg] = t
+				dirty = true
+			}
+			c.Regs[op.reg] = (c.Regs[op.reg] &^ 0xFF) | (c.Regs[op.reg2] & 0xFF)
+		case mMovbRI:
+			if c.RegTags[op.reg] != op.tag {
+				c.RegTags[op.reg] = op.tag
+				dirty = true
+			}
+			c.Regs[op.reg] = (c.Regs[op.reg] &^ 0xFF) | (op.disp & 0xFF)
+		case mMovbRM:
+			ea := op.ea2(c)
+			if t := sh.Get(ea); c.RegTags[op.reg] != t {
+				c.RegTags[op.reg] = t
+				dirty = true
+			}
+			c.Regs[op.reg] = (c.Regs[op.reg] &^ 0xFF) | uint32(mem.Load8(ea))
+		case mMovbMR:
+			ea := op.ea(c)
+			sh.Set(ea, c.RegTags[op.reg])
+			mem.Store8(ea, byte(c.Regs[op.reg]))
+		case mMovbMI:
+			ea := op.ea(c)
+			sh.Set(ea, op.tag)
+			mem.Store8(ea, byte(op.disp2))
+		case mMovbMM:
+			eaB := op.ea2(c)
+			eaA := op.ea(c)
+			sh.Set(eaA, sh.Get(eaB))
+			mem.Store8(eaA, mem.Load8(eaB))
+
+		case mLea:
+			t := op.tag
+			if op.base2 != traceNoBase {
+				t = st.Union(t, c.RegTags[op.base2])
+			}
+			if c.RegTags[op.reg] != t {
+				c.RegTags[op.reg] = t
+				dirty = true
+			}
+			c.Regs[op.reg] = op.ea2(c)
+
+		case mZeroR:
+			if c.RegTags[op.reg] != taint.Empty {
+				c.RegTags[op.reg] = taint.Empty
+				dirty = true
+			}
+			c.Regs[op.reg] = 0
+			zf, lt = true, false
+
+		case mAluRR:
+			if t := st.Union(c.RegTags[op.reg], c.RegTags[op.reg2]); c.RegTags[op.reg] != t {
+				c.RegTags[op.reg] = t
+				dirty = true
+			}
+			r, ok := aluExec(op.aop, c.Regs[op.reg], c.Regs[op.reg2])
+			if !ok {
+				c.ZF, c.LT = zf, lt
+				return traceFault(info, j, dirty)
+			}
+			zf, lt = r == 0, int32(r) < 0
+			c.Regs[op.reg] = r
+		case mAluRI:
+			if t := st.Union(c.RegTags[op.reg], op.tag); c.RegTags[op.reg] != t {
+				c.RegTags[op.reg] = t
+				dirty = true
+			}
+			r, ok := aluExec(op.aop, c.Regs[op.reg], op.disp)
+			if !ok {
+				c.ZF, c.LT = zf, lt
+				return traceFault(info, j, dirty)
+			}
+			zf, lt = r == 0, int32(r) < 0
+			c.Regs[op.reg] = r
+		case mAluRM:
+			ea := op.ea2(c)
+			if t := st.Union(c.RegTags[op.reg], sh.GetWord(ea)); c.RegTags[op.reg] != t {
+				c.RegTags[op.reg] = t
+				dirty = true
+			}
+			r, ok := aluExec(op.aop, c.Regs[op.reg], mem.Load32(ea))
+			if !ok {
+				c.ZF, c.LT = zf, lt
+				return traceFault(info, j, dirty)
+			}
+			zf, lt = r == 0, int32(r) < 0
+			c.Regs[op.reg] = r
+		case mAluMR:
+			ea := op.ea(c)
+			sh.SetWord(ea, st.Union(sh.GetWord(ea), c.RegTags[op.reg]))
+			r, ok := aluExec(op.aop, mem.Load32(ea), c.Regs[op.reg])
+			if !ok {
+				c.ZF, c.LT = zf, lt
+				return traceFault(info, j, dirty)
+			}
+			zf, lt = r == 0, int32(r) < 0
+			mem.Store32(ea, r)
+		case mAluMI:
+			ea := op.ea(c)
+			sh.SetWord(ea, st.Union(sh.GetWord(ea), op.tag))
+			r, ok := aluExec(op.aop, mem.Load32(ea), op.disp2)
+			if !ok {
+				c.ZF, c.LT = zf, lt
+				return traceFault(info, j, dirty)
+			}
+			zf, lt = r == 0, int32(r) < 0
+			mem.Store32(ea, r)
+		case mAluMM:
+			eaA := op.ea(c)
+			eaB := op.ea2(c)
+			sh.SetWord(eaA, st.Union(sh.GetWord(eaA), sh.GetWord(eaB)))
+			r, ok := aluExec(op.aop, mem.Load32(eaA), mem.Load32(eaB))
+			if !ok {
+				c.ZF, c.LT = zf, lt
+				return traceFault(info, j, dirty)
+			}
+			zf, lt = r == 0, int32(r) < 0
+			mem.Store32(eaA, r)
+
+		case mUnR:
+			if isa.Op(op.aop) == isa.INC || isa.Op(op.aop) == isa.DEC {
+				if t := st.Union(c.RegTags[op.reg], op.tag); c.RegTags[op.reg] != t {
+					c.RegTags[op.reg] = t
+					dirty = true
+				}
+			}
+			r := unExec(op.aop, c.Regs[op.reg])
+			zf, lt = r == 0, int32(r) < 0
+			c.Regs[op.reg] = r
+		case mUnM:
+			ea := op.ea(c)
+			t := sh.GetWord(ea)
+			if isa.Op(op.aop) == isa.INC || isa.Op(op.aop) == isa.DEC {
+				t = st.Union(t, op.tag)
+			}
+			// NOT/NEG re-store the word's own tag: not a no-op on
+			// byte-granular pages (it uniformizes the four byte tags).
+			sh.SetWord(ea, t)
+			r := unExec(op.aop, mem.Load32(ea))
+			zf, lt = r == 0, int32(r) < 0
+			mem.Store32(ea, r)
+
+		case mCmpRR:
+			a, b := c.Regs[op.reg], c.Regs[op.reg2]
+			zf, lt = cmpFlags(op.aop, a, b)
+		case mCmpRI:
+			zf, lt = cmpFlags(op.aop, c.Regs[op.reg], op.disp)
+		case mCmpRM:
+			zf, lt = cmpFlags(op.aop, c.Regs[op.reg], mem.Load32(op.ea2(c)))
+		case mCmpMR:
+			zf, lt = cmpFlags(op.aop, mem.Load32(op.ea(c)), c.Regs[op.reg])
+		case mCmpMI:
+			zf, lt = cmpFlags(op.aop, mem.Load32(op.ea(c)), op.disp2)
+		case mCmpMM:
+			a := mem.Load32(op.ea(c))
+			b := mem.Load32(op.ea2(c))
+			zf, lt = cmpFlags(op.aop, a, b)
+
+		case mPushR:
+			esp := c.Regs[isa.ESP] - 4
+			sh.SetWord(esp, c.RegTags[op.reg])
+			mem.Store32(esp, c.Regs[op.reg])
+			c.Regs[isa.ESP] = esp
+		case mPushI:
+			esp := c.Regs[isa.ESP] - 4
+			sh.SetWord(esp, op.tag)
+			mem.Store32(esp, op.disp)
+			c.Regs[isa.ESP] = esp
+		case mPushM:
+			eaB := op.ea2(c)
+			esp := c.Regs[isa.ESP] - 4
+			sh.SetWord(esp, sh.GetWord(eaB))
+			mem.Store32(esp, mem.Load32(eaB))
+			c.Regs[isa.ESP] = esp
+		case mPopR:
+			esp := c.Regs[isa.ESP]
+			if t := sh.GetWord(esp); c.RegTags[op.reg] != t {
+				c.RegTags[op.reg] = t
+				dirty = true
+			}
+			v := mem.Load32(esp)
+			c.Regs[isa.ESP] = esp + 4
+			c.Regs[op.reg] = v
+
+		case mCpuid:
+			for _, r := range [...]uint8{uint8(isa.EAX), uint8(isa.EBX), uint8(isa.ECX), uint8(isa.EDX)} {
+				if c.RegTags[r] != h.hwTag {
+					c.RegTags[r] = h.hwTag
+					dirty = true
+				}
+			}
+			if h.prov != nil {
+				h.provHardware(c, "cpuid")
+			}
+			c.Regs[isa.EAX] = 0x48544853
+			c.Regs[isa.EBX] = 0x696D5543
+			c.Regs[isa.ECX] = 0x756C6174
+			c.Regs[isa.EDX] = 0x726F2121
+		case mRdtsc:
+			if c.RegTags[isa.EAX] != h.hwTag {
+				c.RegTags[isa.EAX] = h.hwTag
+				dirty = true
+			}
+			if c.RegTags[isa.EDX] != h.hwTag {
+				c.RegTags[isa.EDX] = h.hwTag
+				dirty = true
+			}
+			if h.prov != nil {
+				h.provHardware(c, "rdtsc")
+			}
+			steps := c.Steps + uint64(info[j].steps)
+			c.Regs[isa.EAX] = uint32(steps)
+			c.Regs[isa.EDX] = uint32(steps >> 32)
+		}
+	}
+	c.ZF, c.LT = zf, lt
+	return traceExit{
+		eip: tr.endEIP, jumped: tr.endJumped,
+		steps: tr.nInstr, nData: tr.nData,
+		end: len(mops), dirty: dirty,
+	}
+}
+
+// traceFault builds the division-by-zero exit: the faulting
+// instruction's taint transfer has already been applied (the
+// interpreter's OnInstr runs before the fault too) and its retirement
+// is counted, exactly as the interpreter reports it.
+func traceFault(info []mopInfo, j int, dirty bool) traceExit {
+	return traceExit{
+		eip: info[j].addr, jumped: false,
+		steps: info[j].steps, nData: info[j].nData, dirty: dirty,
+		fault: &isa.Fault{PC: info[j].addr, Reason: "division by zero"},
+	}
+}
+
+// cmpFlags evaluates CMP/TEST flag semantics.
+func cmpFlags(aop uint8, a, b uint32) (zf, lt bool) {
+	if isa.Op(aop) == isa.CMP {
+		return a == b, int32(a) < int32(b)
+	}
+	r := a & b
+	return r == 0, int32(r) < 0
+}
+
+// runTraceBare is the clean-taint fast path: the tag-free variant of
+// the mop loop, executing only concrete semantics. It is entered on a
+// gate hit and runs up to `end`, the first mop the matched verify run
+// did not cover; reaching it hands control to the full loop (cont >=
+// 0). All per-block side effects still fire — the gate elides taint
+// transfer, never observability. Skipping the transfer is exact
+// because every skipped mop was proven a taint no-op for this exact
+// key (see the file comment); that includes a mop that faults here,
+// so even the fault path needs no tag work.
+func (h *Harrier) runTraceBare(c *isa.CPU, tr *blockTrace, budget, end int) (ex traceExit, cont int) {
+	mem := c.Mem
+	zf, lt := c.ZF, c.LT
+	observed := h.prov != nil || h.bus != nil
+	var nBlocks uint16
+	var lastB *traceBlock
+	defer func() { ex.nBlocks, ex.lastB = nBlocks, lastB }()
+	mops, info := tr.mops, tr.info
+	for j := 0; j < len(mops); j++ {
+		op := &mops[j]
+		switch op.code {
+		case mBBEnter:
+			if j >= end {
+				// Past the verified prefix: re-specialize by switching to
+				// the full-transfer loop at this block boundary.
+				c.ZF, c.LT = zf, lt
+				return traceExit{}, j
+			}
+			b := &tr.blocks[op.disp]
+			if budget > 0 && int(info[j].steps)+b.instrs > budget {
+				c.ZF, c.LT = zf, lt
+				return traceExit{
+					eip: info[j].addr, jumped: b.entryJumped,
+					steps: info[j].steps, nData: info[j].nData, end: j,
+				}, -1
+			}
+			*b.ctr++
+			nBlocks++
+			lastB = b
+			if observed {
+				h.traceBlockEnter(c, b, info[j].steps)
+			}
+
+		case mBr:
+			if taken := brTaken(op.aop, zf, lt); taken != op.pred {
+				h.stats.TraceSideExits++
+				eip := op.disp2
+				if taken {
+					eip = op.disp
+				}
+				c.ZF, c.LT = zf, lt
+				return traceExit{
+					eip: eip, jumped: true,
+					steps: info[j].steps, nData: info[j].nData, end: j + 1,
+				}, -1
+			}
+
+		case mMovRR:
+			c.Regs[op.reg] = c.Regs[op.reg2]
+		case mMovRI:
+			c.Regs[op.reg] = op.disp
+		case mMovRM:
+			c.Regs[op.reg] = mem.Load32(op.ea2(c))
+		case mMovMR:
+			mem.Store32(op.ea(c), c.Regs[op.reg])
+		case mMovMI:
+			mem.Store32(op.ea(c), op.disp2)
+		case mMovMM:
+			v := mem.Load32(op.ea2(c))
+			mem.Store32(op.ea(c), v)
+
+		case mMovbRR:
+			c.Regs[op.reg] = (c.Regs[op.reg] &^ 0xFF) | (c.Regs[op.reg2] & 0xFF)
+		case mMovbRI:
+			c.Regs[op.reg] = (c.Regs[op.reg] &^ 0xFF) | (op.disp & 0xFF)
+		case mMovbRM:
+			c.Regs[op.reg] = (c.Regs[op.reg] &^ 0xFF) | uint32(mem.Load8(op.ea2(c)))
+		case mMovbMR:
+			mem.Store8(op.ea(c), byte(c.Regs[op.reg]))
+		case mMovbMI:
+			mem.Store8(op.ea(c), byte(op.disp2))
+		case mMovbMM:
+			v := mem.Load8(op.ea2(c))
+			mem.Store8(op.ea(c), v)
+
+		case mLea:
+			c.Regs[op.reg] = op.ea2(c)
+		case mZeroR:
+			c.Regs[op.reg] = 0
+			zf, lt = true, false
+
+		case mAluRR:
+			r, ok := aluExec(op.aop, c.Regs[op.reg], c.Regs[op.reg2])
+			if !ok {
+				c.ZF, c.LT = zf, lt
+				return traceFault(info, j, false), -1
+			}
+			zf, lt = r == 0, int32(r) < 0
+			c.Regs[op.reg] = r
+		case mAluRI:
+			r, ok := aluExec(op.aop, c.Regs[op.reg], op.disp)
+			if !ok {
+				c.ZF, c.LT = zf, lt
+				return traceFault(info, j, false), -1
+			}
+			zf, lt = r == 0, int32(r) < 0
+			c.Regs[op.reg] = r
+		case mAluRM:
+			r, ok := aluExec(op.aop, c.Regs[op.reg], mem.Load32(op.ea2(c)))
+			if !ok {
+				c.ZF, c.LT = zf, lt
+				return traceFault(info, j, false), -1
+			}
+			zf, lt = r == 0, int32(r) < 0
+			c.Regs[op.reg] = r
+		case mAluMR:
+			ea := op.ea(c)
+			r, ok := aluExec(op.aop, mem.Load32(ea), c.Regs[op.reg])
+			if !ok {
+				c.ZF, c.LT = zf, lt
+				return traceFault(info, j, false), -1
+			}
+			zf, lt = r == 0, int32(r) < 0
+			mem.Store32(ea, r)
+		case mAluMI:
+			ea := op.ea(c)
+			r, ok := aluExec(op.aop, mem.Load32(ea), op.disp2)
+			if !ok {
+				c.ZF, c.LT = zf, lt
+				return traceFault(info, j, false), -1
+			}
+			zf, lt = r == 0, int32(r) < 0
+			mem.Store32(ea, r)
+		case mAluMM:
+			eaA := op.ea(c)
+			r, ok := aluExec(op.aop, mem.Load32(eaA), mem.Load32(op.ea2(c)))
+			if !ok {
+				c.ZF, c.LT = zf, lt
+				return traceFault(info, j, false), -1
+			}
+			zf, lt = r == 0, int32(r) < 0
+			mem.Store32(eaA, r)
+
+		case mUnR:
+			r := unExec(op.aop, c.Regs[op.reg])
+			zf, lt = r == 0, int32(r) < 0
+			c.Regs[op.reg] = r
+		case mUnM:
+			ea := op.ea(c)
+			r := unExec(op.aop, mem.Load32(ea))
+			zf, lt = r == 0, int32(r) < 0
+			mem.Store32(ea, r)
+
+		case mCmpRR:
+			zf, lt = cmpFlags(op.aop, c.Regs[op.reg], c.Regs[op.reg2])
+		case mCmpRI:
+			zf, lt = cmpFlags(op.aop, c.Regs[op.reg], op.disp)
+		case mCmpRM:
+			zf, lt = cmpFlags(op.aop, c.Regs[op.reg], mem.Load32(op.ea2(c)))
+		case mCmpMR:
+			zf, lt = cmpFlags(op.aop, mem.Load32(op.ea(c)), c.Regs[op.reg])
+		case mCmpMI:
+			zf, lt = cmpFlags(op.aop, mem.Load32(op.ea(c)), op.disp2)
+		case mCmpMM:
+			a := mem.Load32(op.ea(c))
+			b := mem.Load32(op.ea2(c))
+			zf, lt = cmpFlags(op.aop, a, b)
+
+		case mPushR:
+			esp := c.Regs[isa.ESP] - 4
+			mem.Store32(esp, c.Regs[op.reg])
+			c.Regs[isa.ESP] = esp
+		case mPushI:
+			esp := c.Regs[isa.ESP] - 4
+			mem.Store32(esp, op.disp)
+			c.Regs[isa.ESP] = esp
+		case mPushM:
+			v := mem.Load32(op.ea2(c))
+			esp := c.Regs[isa.ESP] - 4
+			mem.Store32(esp, v)
+			c.Regs[isa.ESP] = esp
+		case mPopR:
+			esp := c.Regs[isa.ESP]
+			v := mem.Load32(esp)
+			c.Regs[isa.ESP] = esp + 4
+			c.Regs[op.reg] = v
+
+		case mCpuid:
+			// Tag writes were proven no-ops (the registers already carry
+			// HARDWARE); the provenance entry still fires.
+			if h.prov != nil {
+				h.provHardware(c, "cpuid")
+			}
+			c.Regs[isa.EAX] = 0x48544853
+			c.Regs[isa.EBX] = 0x696D5543
+			c.Regs[isa.ECX] = 0x756C6174
+			c.Regs[isa.EDX] = 0x726F2121
+		case mRdtsc:
+			if h.prov != nil {
+				h.provHardware(c, "rdtsc")
+			}
+			steps := c.Steps + uint64(info[j].steps)
+			c.Regs[isa.EAX] = uint32(steps)
+			c.Regs[isa.EDX] = uint32(steps >> 32)
+		}
+	}
+	c.ZF, c.LT = zf, lt
+	return traceExit{
+		eip: tr.endEIP, jumped: tr.endJumped,
+		steps: tr.nInstr, nData: tr.nData, end: len(mops),
+	}, -1
+}

@@ -37,6 +37,27 @@ type Native struct {
 	Fn   func(c *CPU)
 }
 
+// SummaryAction is the verdict Hooks.OnBBSummary returns for a block
+// entry that landed on a compiled-summary slot.
+type SummaryAction uint8
+
+const (
+	// SummaryDecline rejects the slot (foreign or stale summary); the
+	// interpreter-tier hooks run as usual.
+	SummaryDecline SummaryAction = iota
+	// SummaryBlock accepts the block: the hook applied the whole
+	// block's instrumentation in one call, and OnBB/OnInstr are
+	// suppressed until the next block entry. The CPU still executes
+	// the block's instructions one by one.
+	SummaryBlock
+	// SummaryTrace means the hook *executed* guest instructions itself
+	// (a compiled superblock trace): it advanced EIP, Steps and the
+	// flags/registers/memory to the trace's exit point. Step returns
+	// immediately without fetching — the accompanying error, if any,
+	// is the guest fault the trace stopped on.
+	SummaryTrace
+)
+
 // Hooks are the instrumentation points Harrier attaches to; all are
 // optional. They correspond to the instrumentation granularities of
 // paper Table 3 (instruction, basic block, routine).
@@ -56,12 +77,13 @@ type Hooks struct {
 	// OnBBSummary is the fast-dispatch point of the tiered taint
 	// engine: when a block entry lands on a leader that carries a
 	// compiled summary (Span.BBSummary), the fetch loop offers it here
-	// instead of calling OnBB. Returning true accepts the block — the
-	// hook has applied the whole block's instrumentation in one call,
-	// and OnBB/OnInstr are suppressed until the next block entry.
-	// Returning false declines (foreign or stale summary) and the
-	// interpreter-tier hooks run as usual.
-	OnBBSummary func(c *CPU, s *Span, leaderIdx int, summary any) bool
+	// instead of calling OnBB. The returned SummaryAction selects the
+	// tier: decline (interpreter hooks run as usual), accept the block
+	// (instrumentation applied, CPU executes normally), or a trace ran
+	// (the hook executed instructions itself; see CPU.TraceBudget).
+	// The error return accompanies SummaryTrace when the trace stopped
+	// on a guest fault, which Step propagates as its own.
+	OnBBSummary func(c *CPU, s *Span, leaderIdx int, summary any) (SummaryAction, error)
 	// OnNativePre/Post bracket host-implemented library routines.
 	// Harrier's short-circuit dataflow (gethostbyname) lives here
 	// (paper §7.2).
@@ -94,6 +116,13 @@ type CPU struct {
 	// hooks and syscall handlers.
 	Ctx any
 
+	// TraceBudget caps how many guest instructions a SummaryTrace hook
+	// may execute in one Step call; the scheduler sets it to the
+	// remainder of the current quantum before each Step so trace
+	// execution never stretches a scheduling slice. Zero or negative
+	// means unlimited (callers outside the scheduler).
+	TraceBudget int
+
 	Halted     bool
 	jumped     bool // last instruction transferred control
 	inSummary  bool // current block was accepted by OnBBSummary
@@ -121,6 +150,17 @@ func NewCPU() *CPU {
 func (c *CPU) SetPC(addr uint32) {
 	a := addr
 	c.pcOverride = &a
+	c.curOK = false
+}
+
+// ExitTrace records the architectural exit point of a SummaryTrace
+// hook: the next PC and whether the trace left via a control transfer
+// (which makes the following instruction a fresh block entry even when
+// it is not a leader). The sequential-fetch cursor is invalidated —
+// the trace moved EIP underneath it.
+func (c *CPU) ExitTrace(pc uint32, jumped bool) {
+	c.EIP = pc
+	c.jumped = jumped
 	c.curOK = false
 }
 
@@ -256,7 +296,25 @@ func (c *CPU) Step() error {
 		c.inSummary = false
 		if m&metaLeader != 0 && span.summaries != nil && c.Hooks.OnBBSummary != nil {
 			if sum := span.summaries[idx]; sum != nil {
-				c.inSummary = c.Hooks.OnBBSummary(c, span, idx, sum)
+				act, terr := c.Hooks.OnBBSummary(c, span, idx, sum)
+				switch act {
+				case SummaryBlock:
+					c.inSummary = true
+				case SummaryTrace:
+					// The hook executed instructions itself: EIP, Steps,
+					// flags and the architectural state already sit at
+					// the trace's exit point. A non-nil error is a guest
+					// fault the trace stopped on, reported exactly as if
+					// the interpreter had executed the faulting
+					// instruction.
+					if terr != nil {
+						c.Halted = true
+						c.curOK = false
+						return terr
+					}
+					c.curOK = false
+					return nil
+				}
 			}
 		}
 		if !c.inSummary && c.Hooks.OnBB != nil {

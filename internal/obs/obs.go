@@ -123,6 +123,13 @@ const (
 	// threshold and compiling into a dataflow summary. Num = block
 	// leader address, Num2 = compiled op count, Str = owning image.
 	KindBBPromote
+	// KindBBTrace is a summarized block crossing the trace threshold
+	// and compiling into a superblock trace (the third tier). Num =
+	// trace head leader address, Num2 = compiled mop count, Str =
+	// owning image. The kind itself is the tier discriminator replay
+	// tools use to tell summary promotions (bb.promote) from trace
+	// promotions.
+	KindBBTrace
 	// KindTaintSample is a periodic snapshot of the taint substrate,
 	// published every sample quantum of instrumented instructions.
 	// Num = union operations, Num2 = union-cache hits, Str2 unused.
@@ -167,6 +174,7 @@ var kindNames = [numKinds]string{
 	KindFDClose:      "fd.close",
 	KindBBRoll:       "bb.roll",
 	KindBBPromote:    "bb.promote",
+	KindBBTrace:      "bb.trace",
 	KindTaintSample:  "taint.sample",
 	KindTaintTLB:     "taint.tlb",
 	KindRuleFire:     "rule.fire",

@@ -39,6 +39,17 @@ type Shadow struct {
 	// increments on the page-resolution path; read via TLBStats.
 	tlbProbes uint64
 	tlbMisses uint64
+
+	// Taint-state accounting for the clean-taint gate (see
+	// harrier/trace.go). gen increments on every write that actually
+	// changes a stored tag — no-op writes (storing the tag already
+	// present) leave it untouched, so an unchanged gen across a window
+	// proves the shadow's observable state is identical. pop counts
+	// tainted (non-Empty) bytes; it is zero exactly while nothing in
+	// the address space carries a source, and page degradation
+	// preserves it (a word-mode tag counts as its four bytes).
+	gen uint64
+	pop int64
 }
 
 const (
@@ -82,17 +93,42 @@ func (p *shadowPage) getByte(off uint32) Tag {
 }
 
 // setByte assigns the tag of the byte at page offset off, degrading
-// the page only if the write actually breaks word uniformity.
-func (p *shadowPage) setByte(off uint32, t Tag) {
-	if p.bytes != nil {
-		p.bytes[off] = t
+// the page only if the write actually breaks word uniformity. Actual
+// tag changes are charged to sh's generation/population counters.
+func (p *shadowPage) setByte(sh *Shadow, off uint32, t Tag) {
+	if p.bytes == nil {
+		if p.words[off>>2] == t {
+			return // word already carries t; no-op, page stays in word mode
+		}
+		p.degrade()
+	}
+	old := p.bytes[off]
+	if old == t {
 		return
 	}
-	if p.words[off>>2] == t {
-		return // word already carries t; no-op, page stays in word mode
+	sh.gen++
+	if old == Empty {
+		sh.pop++
+	} else if t == Empty {
+		sh.pop--
 	}
-	p.degrade()
 	p.bytes[off] = t
+}
+
+// setWordSlot assigns the uniform tag of word slot w on a word-mode
+// page, with generation/population accounting (one word = 4 bytes).
+func (p *shadowPage) setWordSlot(sh *Shadow, w uint32, t Tag) {
+	old := p.words[w]
+	if old == t {
+		return
+	}
+	sh.gen++
+	if old == Empty {
+		sh.pop += 4
+	} else if t == Empty {
+		sh.pop -= 4
+	}
+	p.words[w] = t
 }
 
 // NewShadow returns an empty shadow map backed by the given store.
@@ -152,7 +188,7 @@ func (sh *Shadow) Set(addr uint32, t Tag) {
 		}
 		p = sh.pageAlloc(addr >> pageShift)
 	}
-	p.setByte(addr&pageMask, t)
+	p.setByte(sh, addr&pageMask, t)
 }
 
 // GetWord returns the union of the four byte tags at addr (the tag of
@@ -195,13 +231,13 @@ func (sh *Shadow) SetWord(addr uint32, t Tag) {
 		p = sh.pageAlloc(addr >> pageShift)
 	}
 	if p.bytes == nil && off&3 == 0 {
-		p.words[off>>2] = t
+		p.setWordSlot(sh, off>>2, t)
 		return
 	}
-	p.setByte(off, t)
-	p.setByte(off+1, t)
-	p.setByte(off+2, t)
-	p.setByte(off+3, t)
+	p.setByte(sh, off, t)
+	p.setByte(sh, off+1, t)
+	p.setByte(sh, off+2, t)
+	p.setByte(sh, off+3, t)
 }
 
 // SetRange assigns the same tag to n bytes starting at addr,
@@ -219,10 +255,10 @@ func (sh *Shadow) SetRange(addr, n uint32, t Tag) {
 		if p == nil {
 			if t != Empty {
 				p = sh.pageAlloc(idx)
-				p.setRange(off, chunk, t)
+				p.setRange(sh, off, chunk, t)
 			}
 		} else {
-			p.setRange(off, chunk, t)
+			p.setRange(sh, off, chunk, t)
 		}
 		addr += chunk
 		n -= chunk
@@ -232,11 +268,11 @@ func (sh *Shadow) SetRange(addr, n uint32, t Tag) {
 // setRange assigns t to chunk bytes at page offset off (off+chunk <=
 // pageSize). Word-mode pages fill whole words for the aligned
 // interior and fall back to setByte (degrade-if-needed) at the edges.
-func (p *shadowPage) setRange(off, chunk uint32, t Tag) {
+func (p *shadowPage) setRange(sh *Shadow, off, chunk uint32, t Tag) {
 	end := off + chunk
 	if p.bytes == nil {
 		for off < end && off&3 != 0 {
-			p.setByte(off, t)
+			p.setByte(sh, off, t)
 			if p.bytes != nil {
 				break // degraded mid-edge; finish in byte mode below
 			}
@@ -244,11 +280,11 @@ func (p *shadowPage) setRange(off, chunk uint32, t Tag) {
 		}
 		if p.bytes == nil {
 			for off+4 <= end {
-				p.words[off>>2] = t
+				p.setWordSlot(sh, off>>2, t)
 				off += 4
 			}
 			for off < end {
-				p.setByte(off, t)
+				p.setByte(sh, off, t)
 				if p.bytes != nil {
 					break
 				}
@@ -258,7 +294,7 @@ func (p *shadowPage) setRange(off, chunk uint32, t Tag) {
 	}
 	if p.bytes != nil {
 		for ; off < end; off++ {
-			p.bytes[off] = t
+			p.setByte(sh, off, t)
 		}
 	}
 }
@@ -323,6 +359,8 @@ func (sh *Shadow) Clone() *Shadow {
 		}
 		out.pages[idx] = cp
 	}
+	out.gen = sh.gen
+	out.pop = sh.pop
 	return out
 }
 
@@ -337,7 +375,23 @@ func (sh *Shadow) ClearRange(addr, n uint32) {
 func (sh *Shadow) Reset() {
 	sh.pages = make(map[uint32]*shadowPage)
 	sh.tlbPage, sh.tlbValid = nil, false
+	sh.gen++ // the observable tag state changed wholesale
+	sh.pop = 0
 }
+
+// Gen returns the shadow's write generation: it advances exactly when
+// a write changes a stored tag, so two equal Gen readings bracket a
+// window in which the shadow's observable state did not change. The
+// clean-taint gate keys its cached verdicts on it.
+func (sh *Shadow) Gen() uint64 { return sh.gen }
+
+// TagBytes returns the live tag population: the number of bytes
+// currently carrying a non-Empty tag.
+func (sh *Shadow) TagBytes() int64 { return sh.pop }
+
+// Taintless reports whether no byte in the address space carries a
+// source — trivially true before the first tagged write.
+func (sh *Shadow) Taintless() bool { return sh.pop == 0 }
 
 // Pages returns the number of shadow pages currently allocated.
 func (sh *Shadow) Pages() int { return len(sh.pages) }

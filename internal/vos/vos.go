@@ -319,10 +319,18 @@ func (os *OS) Run() error {
 			// Run one quantum. A CPU halted by HLT (without exit())
 			// keeps State == Ready; the next Step returns ErrHalted
 			// and terminates it as an implicit clean exit, so the
-			// loop needs no per-instruction Halted check.
+			// loop needs no per-instruction Halted check. One Step may
+			// retire several instructions when a compiled trace runs
+			// (Hooks.OnBBSummary returning SummaryTrace), so the
+			// quantum is accounted from the Steps delta, with
+			// TraceBudget capping a trace at the slice remainder —
+			// slices stay exactly StepsPerSlice instructions long in
+			// every tier.
 			cpu := p.CPU
 			ran := 0
-			for ; ran < sps && p.State == Ready; ran++ {
+			for ran < sps && p.State == Ready {
+				cpu.TraceBudget = sps - ran
+				before := cpu.Steps
 				if err := cpu.Step(); err != nil {
 					if err == isa.ErrHalted {
 						p.terminate(0, false, nil)
@@ -331,7 +339,9 @@ func (os *OS) Run() error {
 					}
 					break
 				}
-				os.Clock++
+				d := int(cpu.Steps - before)
+				os.Clock += uint64(d)
+				ran += d
 			}
 			if ran > 0 {
 				os.TotalSteps += uint64(ran)

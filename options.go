@@ -122,6 +122,16 @@ func WithTierThreshold(n int) Option {
 	return func(c *Config) { c.Monitor.PromoteThreshold = n }
 }
 
+// WithTraceThreshold sets the second promotion threshold of the tiered
+// taint engine: a summarized block whose execution counter reaches n is
+// compiled into a superblock trace — chained hot blocks executed in one
+// hook call with a clean-taint fast path. Zero disables the trace tier
+// and caps blocks at the summary tier; detections are bit-identical
+// either way, only throughput changes.
+func WithTraceThreshold(n int) Option {
+	return func(c *Config) { c.Monitor.TraceThreshold = n }
+}
+
 // WithObserver attaches one or more observers to the run's event bus.
 // Repeated uses accumulate.
 func WithObserver(sinks ...Observer) Option {

@@ -255,6 +255,11 @@ func (rc *runCore) publishRunEnd(runErr error, wall time.Duration) {
 			{"harrier.tier.pinned", st.TierPinned},
 			{"harrier.tier.demoted", st.TierDemoted},
 			{"harrier.tier.hits", st.TierHits},
+			{"harrier.tier.trace_demoted", st.TierTraceDemoted},
+			{"harrier.trace.compiled", st.TraceCompiled},
+			{"harrier.trace.hits", st.TraceHits},
+			{"harrier.trace.side_exits", st.TraceSideExits},
+			{"harrier.gate.skips", st.GateSkips},
 		} {
 			rc.bus.Publish(obs.Event{
 				Layer: obs.LayerRun, Kind: obs.KindMetric,

@@ -26,6 +26,11 @@ go test -race ./...
 go run ./cmd/hth-bench -chaos 0xC0FFEE,0.05 -parallel 4 >/dev/null
 # Fuzz smoke: the chaos plan parser must never panic on hostile specs.
 go test -fuzz=FuzzChaos -fuzztime=10s ./internal/chaos
+# Trace-tier gates: the full corpus must be bit-identical with traces
+# on and off (crossed with provenance), and the multi-block trace
+# oracle gets a fuzz smoke beyond its checked-in corpus.
+go test -run TestTraceDifferentialSweep -count=1 ./internal/corpus
+go test -fuzz=FuzzTraceApply -fuzztime=10s ./internal/harrier
 # Observability overhead gate: the disabled event bus must stay one
 # nil-check per publish site — no hot-path allocations, no gross
 # throughput regression (see scripts/benchgate.sh).
