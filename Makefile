@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test bench tables chaos trace benchgate serve
+.PHONY: check test bench tables chaos trace benchgate serve soak
 
 # The full pre-merge gate: vet + build + tests + race-detector pass
 # over the parallel corpus runner + seeded chaos sweep + fuzz smoke.
@@ -11,6 +11,15 @@ check:
 # over the full corpus on a fixed seed.
 chaos:
 	$(GO) run ./cmd/hth-bench -chaos 0xC0FFEE,0.05 -parallel 4
+
+# The service chaos soak: concurrent tenants under a seeded
+# service-level fault storm (worker crashes, stalls, corrupted specs,
+# slow readers) — zero lost jobs, zero leaked goroutines — plus the
+# zero-rate identity soak and the corpus-through-service signature
+# gate, all under the race detector.
+soak:
+	$(GO) test -race -count=1 -run 'TestServiceChaosSoak|TestServiceSoakZeroRate' .
+	$(GO) test -race -count=1 -run TestServiceSweepSignatureIdentity ./internal/corpus
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,52 @@
+package hth
+
+import (
+	"testing"
+)
+
+const busyGuardSrc = `
+.text
+_start:
+    mov ebx, 0
+    mov eax, 1
+    int 0x80
+`
+
+// TestRunBusyGuard pins the shared-System guard: a System whose run
+// slot is taken rejects Run with ErrSystemBusy instead of racing the
+// scheduler state, and frees the slot again on completion (including
+// the rejection path itself).
+func TestRunBusyGuard(t *testing.T) {
+	sys := NewSystem()
+	sys.MustInstallSource("/bin/prog", busyGuardSrc)
+
+	sys.running.Store(1) // simulate a run in flight on another goroutine
+	if _, err := sys.Run(DefaultConfig(), RunSpec{Path: "/bin/prog"}); err != ErrSystemBusy {
+		t.Fatalf("Run on a busy System: %v, want ErrSystemBusy", err)
+	}
+	sys.running.Store(0)
+	if _, err := sys.Run(DefaultConfig(), RunSpec{Path: "/bin/prog"}); err != nil {
+		t.Fatalf("Run after the slot freed: %v", err)
+	}
+	if sys.running.Load() != 0 {
+		t.Fatal("Run did not release the busy slot")
+	}
+}
+
+// TestWaitBusyGuard is the same contract on the Session path.
+func TestWaitBusyGuard(t *testing.T) {
+	sys := NewSystem()
+	sys.MustInstallSource("/bin/prog", busyGuardSrc)
+	sn := sys.NewSession(DefaultConfig())
+	if _, err := sn.Start(RunSpec{Path: "/bin/prog"}); err != nil {
+		t.Fatal(err)
+	}
+	sys.running.Store(1)
+	if _, err := sn.Wait(); err != ErrSystemBusy {
+		t.Fatalf("Wait on a busy System: %v, want ErrSystemBusy", err)
+	}
+	sys.running.Store(0)
+	if _, err := sn.Wait(); err != nil {
+		t.Fatalf("Wait after the slot freed: %v", err)
+	}
+}

@@ -1,9 +1,19 @@
 package hth
 
 import (
+	"errors"
 	"fmt"
 	"runtime/debug"
 )
+
+// ErrSystemBusy is returned by System.Run and Session.Wait when the
+// System is already executing a run on another goroutine. A System is
+// one guest world with one scheduler: concurrent runs would interleave
+// mutable OS state, so the API rejects them instead of racing. Use one
+// System per concurrent job (what hth.Service and the corpus sweeps
+// do) — independent Systems share no mutable state and run in
+// parallel freely.
+var ErrSystemBusy = errors.New("hth: System is already running; a System supports one Run/Wait at a time — use one System per concurrent job")
 
 // RunError is the structured form of a failure inside a monitored run.
 // Internal panics anywhere under System.Run / Session.Wait — the

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/asm"
@@ -93,6 +94,12 @@ type Config struct {
 	// this file when the run ends with a warning, a scheduler error, a
 	// guest fault, or injected chaos faults. See WithFlightDump.
 	FlightPath string
+	// JobTag, when set alongside FlightPath, makes the dump path
+	// unique per run: "<path>.<tag>.jsonl.gz" (any ".jsonl"/".jsonl.gz"
+	// suffix on FlightPath is folded in first). Pooled runs sharing a
+	// dump location set this to their job id so concurrent workers
+	// cannot clobber each other's post-mortem dumps. See WithJobTag.
+	JobTag string
 	// Introspect, when set, serves live introspection over HTTP on this
 	// address for the duration of the run: /metrics (Prometheus text),
 	// /events (filtered SSE stream), /flight (ring dump), and
@@ -229,10 +236,20 @@ func (r *Result) Report() string {
 
 // System is a guest world under construction: a virtual OS with
 // guestlib installed, programs, files, and network peers.
+//
+// A System is not safe for concurrent runs: Run (and Session.Wait)
+// reconfigure and execute the one underlying scheduler, so a second
+// concurrent call returns ErrSystemBusy instead of racing. Distinct
+// Systems share no mutable state; run as many as you like in
+// parallel (one per job is the service and corpus-sweep discipline).
 type System struct {
 	// OS is the underlying virtual machine, exposed for advanced
 	// setups (scheduled connections, extra hosts).
 	OS *vos.OS
+
+	// running guards the execute path: 1 while a Run/Wait holds the
+	// scheduler.
+	running atomic.Int32
 }
 
 // NewSystem creates a guest world with libc.so and ld-linux.so
@@ -293,6 +310,10 @@ func (s *System) ScheduleConnect(at uint64, addr, from string, script vos.Remote
 // anywhere inside the run is contained at this boundary and returned
 // as a *RunError rather than crashing the caller.
 func (s *System) Run(cfg Config, spec RunSpec) (res *Result, err error) {
+	if !s.running.CompareAndSwap(0, 1) {
+		return nil, ErrSystemBusy
+	}
+	defer s.running.Store(0)
 	defer contain("run", &res, &err)
 	rc := newRunCore(s, cfg)
 	if err := rc.setupErr(); err != nil {
@@ -344,6 +365,10 @@ func (sn *Session) Start(spec RunSpec) (*vos.Process, error) {
 // combined result (Process is the first started program). Panics are
 // contained as in System.Run.
 func (sn *Session) Wait() (res *Result, err error) {
+	if !sn.rc.sys.running.CompareAndSwap(0, 1) {
+		return nil, ErrSystemBusy
+	}
+	defer sn.rc.sys.running.Store(0)
 	defer contain("wait", &res, &err)
 	if len(sn.procs) == 0 {
 		return nil, fmt.Errorf("hth: session has no started programs")

@@ -31,19 +31,39 @@ const (
 	// remote sees a successful send, the guest never gets the bytes.
 	RemoteDrop
 
+	// Service-level fault kinds (consumed by hth.Service and its soak
+	// harness rather than the vos seams; see service.go).
+
+	// WorkerCrash panics an analysis-service worker goroutine outside
+	// the run's panic containment, forcing the pool to recycle it.
+	WorkerCrash
+	// QueueStall delays a dequeued job before it executes, simulating
+	// a wedged dispatch path.
+	QueueStall
+	// SlowReader throttles a tenant's consumption of its job's
+	// streamed updates, exercising the drop-not-stall stream path.
+	SlowReader
+	// BadJobSpec corrupts a submitted job specification before
+	// validation, forcing the typed-rejection path.
+	BadJobSpec
+
 	numKinds
 )
 
 var kindNames = [numKinds]string{
-	ReadErr:    "read",
-	WriteErr:   "write",
-	OpenErr:    "open",
-	ConnectErr: "connect",
-	AcceptErr:  "accept",
-	ShortRead:  "shortread",
-	NetDelay:   "netdelay",
-	NetDrop:    "netdrop",
-	RemoteDrop: "remotedrop",
+	ReadErr:     "read",
+	WriteErr:    "write",
+	OpenErr:     "open",
+	ConnectErr:  "connect",
+	AcceptErr:   "accept",
+	ShortRead:   "shortread",
+	NetDelay:    "netdelay",
+	NetDrop:     "netdrop",
+	RemoteDrop:  "remotedrop",
+	WorkerCrash: "workercrash",
+	QueueStall:  "queuestall",
+	SlowReader:  "slowreader",
+	BadJobSpec:  "badspec",
 }
 
 // String returns the plan-syntax name of the kind.

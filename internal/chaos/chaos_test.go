@@ -198,3 +198,86 @@ func TestFaultSeqAndString(t *testing.T) {
 		t.Error("Count disagrees with Faults")
 	}
 }
+
+func TestServiceFaultKinds(t *testing.T) {
+	// Rate 1 with only service kinds enabled: every decision point
+	// fires and is recorded with its job id.
+	in := New(Plan{Seed: 11, Rate: 1,
+		Only: []Kind{WorkerCrash, QueueStall, SlowReader, BadJobSpec}})
+	if !in.JobSpecCorrupt("j1") {
+		t.Fatal("JobSpecCorrupt did not fire at rate 1")
+	}
+	if ms, ok := in.QueueStall("j1"); !ok || ms < 1 || ms > maxStallMS {
+		t.Fatalf("QueueStall = (%d, %v)", ms, ok)
+	}
+	if !in.WorkerCrash("j1", "pre") {
+		t.Fatal("WorkerCrash did not fire at rate 1")
+	}
+	if ms, ok := in.SlowReader("j1"); !ok || ms < 1 || ms > maxSlowReaderMS {
+		t.Fatalf("SlowReader = (%d, %v)", ms, ok)
+	}
+	fs := in.Faults()
+	if len(fs) != 4 {
+		t.Fatalf("recorded %d faults, want 4", len(fs))
+	}
+	wantKinds := []Kind{BadJobSpec, QueueStall, WorkerCrash, SlowReader}
+	for i, f := range fs {
+		if f.Kind != wantKinds[i] {
+			t.Errorf("fault %d kind = %s, want %s", i, f.Kind, wantKinds[i])
+		}
+	}
+	if fs[2].Path != "j1/pre" {
+		t.Errorf("WorkerCrash path = %q, want j1/pre", fs[2].Path)
+	}
+}
+
+func TestServiceFaultsDeterministicPerJob(t *testing.T) {
+	plan := Plan{Seed: 0xC0FFEE, Rate: 0.5,
+		Only: []Kind{WorkerCrash, QueueStall, BadJobSpec}}
+	stream := func() []string {
+		var out []string
+		for _, id := range []string{"j1", "j2", "j3", "j4"} {
+			in := New(plan.Derive(id))
+			if in.JobSpecCorrupt(id) {
+				out = append(out, id+":badspec")
+			}
+			for attempt := 0; attempt < 3; attempt++ {
+				if _, ok := in.QueueStall(id); ok {
+					out = append(out, id+":stall")
+				}
+				if in.WorkerCrash(id, "pre") {
+					out = append(out, id+":crash")
+				}
+			}
+		}
+		return out
+	}
+	a, b := stream(), stream()
+	if len(a) == 0 {
+		t.Fatal("rate-0.5 plan fired nothing across 4 jobs")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("fault streams differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault stream diverged at %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+func TestServiceFaultsZeroRateInert(t *testing.T) {
+	in := New(Plan{Seed: 7, Rate: 0})
+	if in.JobSpecCorrupt("j") || in.WorkerCrash("j", "pre") {
+		t.Fatal("zero-rate plan fired a service fault")
+	}
+	if _, ok := in.QueueStall("j"); ok {
+		t.Fatal("zero-rate plan fired a queue stall")
+	}
+	if _, ok := in.SlowReader("j"); ok {
+		t.Fatal("zero-rate plan fired a slow reader")
+	}
+	if in.Count() != 0 {
+		t.Fatalf("zero-rate plan recorded %d faults", in.Count())
+	}
+}

@@ -7,10 +7,10 @@ import (
 	"io"
 	"runtime"
 	"runtime/pprof"
-	"sync"
 
 	hth "repro"
 	"repro/internal/chaos"
+	"repro/internal/pool"
 )
 
 // RunOutcome is the result of one scenario in a RunAll sweep.
@@ -83,6 +83,10 @@ func RunAllChaosWith(scenarios []*Scenario, parallelism int, plan chaos.Plan, tw
 	})
 }
 
+// runAll fans the sweep out on an internal/pool worker pool — the
+// same substrate the analysis service shards over — with an unbounded
+// queue (every scenario must execute) and per-task panic containment
+// already provided by runScenario.
 func runAll(scenarios []*Scenario, parallelism int, extra func(*Scenario, *hth.Config)) []RunOutcome {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -91,28 +95,20 @@ func runAll(scenarios []*Scenario, parallelism int, extra func(*Scenario, *hth.C
 		parallelism = len(scenarios)
 	}
 	out := make([]RunOutcome, len(scenarios))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < parallelism; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				// Label the worker's profile samples with the scenario,
-				// so a CPU/heap profile of a sweep attributes cost to
-				// individual corpus rows.
-				sc := scenarios[i]
-				pprof.Do(context.Background(),
-					pprof.Labels("hth.scenario", sc.Name, "hth.table", sc.Table),
-					func(context.Context) { out[i] = runScenario(sc, extra) })
-			}
-		}()
-	}
+	p := pool.New(pool.Options{Workers: parallelism})
 	for i := range scenarios {
-		work <- i
+		i := i
+		sc := scenarios[i]
+		p.Submit(pool.Task{Run: func() {
+			// Label the worker's profile samples with the scenario,
+			// so a CPU/heap profile of a sweep attributes cost to
+			// individual corpus rows.
+			pprof.Do(context.Background(),
+				pprof.Labels("hth.scenario", sc.Name, "hth.table", sc.Table),
+				func(context.Context) { out[i] = runScenario(sc, extra) })
+		}})
 	}
-	close(work)
-	wg.Wait()
+	p.Close()
 	return out
 }
 

@@ -53,7 +53,10 @@ func (m *Metrics) Event(e Event) {
 		m.kinds[e.Kind]++
 	}
 	switch e.Kind {
-	case KindSyscallEnter, KindRuleFire, KindWarning, KindChaosFault:
+	case KindSyscallEnter, KindRuleFire, KindWarning, KindChaosFault,
+		KindJobEnqueue, KindJobDone, KindJobShed, KindJobAbort:
+		// The job kinds carry the tenant in Str, so service counters
+		// are tenant-labelled for free.
 		m.byName[countKey{e.Kind, e.Str}]++
 	case KindMetric:
 		m.gauges[e.Str] = float64(e.Num)
@@ -105,12 +108,46 @@ type Snapshot struct {
 }
 
 // counterPrefix maps a string-dimensioned kind to its flat-name
-// prefix in Snapshot.Counters.
+// prefix in Snapshot.Counters. The job prefixes carry the tenant as
+// the dimension ("job_done.tenant-a"), which WritePrometheus renders
+// as a tenant label.
 var counterPrefix = map[Kind]string{
 	KindSyscallEnter: "syscall.",
 	KindRuleFire:     "rule.",
 	KindWarning:      "warning.",
 	KindChaosFault:   "chaos.",
+	KindJobEnqueue:   "job_submitted.",
+	KindJobDone:      "job_done.",
+	KindJobShed:      "job_shed.",
+	KindJobAbort:     "job_aborted.",
+}
+
+// Gauge returns the latest value of the named gauge, 0 when it has
+// never been set. The analysis service reads its worker-health gauges
+// back out of the registry through this accessor to drive admission
+// decisions.
+func (m *Metrics) Gauge(name string) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gauges[name]
+}
+
+// NamedCount returns the count of kind events carrying the given
+// string dimension (e.g. KindJobDone per tenant).
+func (m *Metrics) NamedCount(k Kind, name string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.byName[countKey{k, name}]
+}
+
+// KindCount returns the total number of events of the given kind.
+func (m *Metrics) KindCount(k Kind) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if k >= numKinds {
+		return 0
+	}
+	return m.kinds[k]
 }
 
 // Snapshot flattens the registry. The receiver keeps accumulating;

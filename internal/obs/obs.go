@@ -37,6 +37,9 @@ const (
 	LayerSecpert
 	// LayerChaos is the fault injector.
 	LayerChaos
+	// LayerService is the long-running analysis service (job
+	// lifecycle, worker health, admission decisions).
+	LayerService
 
 	numLayers
 )
@@ -47,6 +50,7 @@ var layerNames = [numLayers]string{
 	LayerHarrier: "harrier",
 	LayerSecpert: "secpert",
 	LayerChaos:   "chaos",
+	LayerService: "service",
 }
 
 // String names the layer as it appears in JSONL traces.
@@ -155,6 +159,27 @@ const (
 	// Num2 = kind detail, Str = fault kind, Str2 = path/address.
 	KindChaosFault
 
+	// KindJobEnqueue is a service job admitted to a shard queue.
+	// Str = tenant, Str2 = job id, Num = shard, Num2 = shed level.
+	KindJobEnqueue
+	// KindJobStart is a service job beginning execution on a worker.
+	// Str = tenant, Str2 = job id, Num = shard, Num2 = attempt (0-based).
+	KindJobStart
+	// KindJobDone is a service job terminating with a result or a
+	// typed error. Str = tenant, Str2 = outcome code ("done", an error
+	// code, or "aborted"), Num = shard, Num2 = shed level.
+	KindJobDone
+	// KindJobShed is an admission decision degrading a job's feature
+	// set under load. Str = tenant, Str2 = job id, Num = shed level.
+	KindJobShed
+	// KindJobAbort is a queued service job completed as a structured
+	// abort during drain. Str = tenant, Str2 = job id.
+	KindJobAbort
+	// KindWorkerRecycle is a service worker goroutine replaced after a
+	// task panic. Num = shard, Str = tenant of the panicking job,
+	// Str2 = job id.
+	KindWorkerRecycle
+
 	numKinds
 )
 
@@ -182,6 +207,13 @@ var kindNames = [numKinds]string{
 	KindSecText:      "sec.text",
 	KindSecAssert:    "sec.assert",
 	KindChaosFault:   "chaos.fault",
+
+	KindJobEnqueue:    "job.enqueue",
+	KindJobStart:      "job.start",
+	KindJobDone:       "job.done",
+	KindJobShed:       "job.shed",
+	KindJobAbort:      "job.abort",
+	KindWorkerRecycle: "worker.recycle",
 }
 
 // String names the kind as it appears in JSONL traces.

@@ -26,6 +26,7 @@ type wireEvent struct {
 // jsonlSink streams one JSON object per event, remembering the first
 // writer error so Close can surface it.
 type jsonlSink struct {
+	w   io.Writer // underlying writer, kept for ResetErr re-arming
 	bw  *bufio.Writer
 	enc *json.Encoder
 	err error
@@ -39,7 +40,7 @@ type jsonlSink struct {
 // closed pipe is never silently an empty trace.
 func JSONL(w io.Writer) Sink {
 	bw := bufio.NewWriter(w)
-	return &jsonlSink{bw: bw, enc: json.NewEncoder(bw)}
+	return &jsonlSink{w: w, bw: bw, enc: json.NewEncoder(bw)}
 }
 
 func (s *jsonlSink) Event(e Event) {
@@ -58,6 +59,16 @@ func (s *jsonlSink) Close() error {
 		s.err = err
 	}
 	return s.err
+}
+
+// ResetErr clears the sink's sticky error so a long-lived sink shared
+// across pooled runs reports each run's health independently (see
+// ResetErrs). The bufio layer latches write errors of its own, so it
+// is re-armed too; any bytes it was still holding from the failed run
+// are dropped (they never made it out anyway).
+func (s *jsonlSink) ResetErr() {
+	s.err = nil
+	s.bw.Reset(s.w)
 }
 
 // writeWireEvent writes one event in the JSONL wire form (shared by
@@ -190,6 +201,37 @@ func (s *textSink) Event(e Event) {
 }
 
 func (s *textSink) Close() error { return s.err }
+
+// ResetErr clears the sink's sticky error (see ResetErrs).
+func (s *textSink) ResetErr() { s.err = nil }
+
+// ErrResetter is implemented by sinks that latch their first write
+// error (surfaced through Bus.Close → Result.ObserverErr) and can be
+// re-armed for a fresh run. Long-lived sinks shared across pooled
+// runs must be reset at run setup, or one run's write failure leaks
+// into every later Result on the same sink.
+type ErrResetter interface {
+	ResetErr()
+}
+
+// ResetErrs clears the sticky error of every ErrResetter reachable
+// from the given sinks, unwrapping decorators. The run core calls
+// this during setup so Result.ObserverErr reflects only the current
+// run.
+func ResetErrs(sinks []Sink) {
+	for _, s := range sinks {
+		for s != nil {
+			if r, ok := s.(ErrResetter); ok {
+				r.ResetErr()
+			}
+			u, ok := s.(Unwrapper)
+			if !ok {
+				break
+			}
+			s = u.Unwrap()
+		}
+	}
+}
 
 // TextWriter adapts a publish site that produces text through an
 // io.Writer (the expert engine's Out/Echo taps) onto the bus: every

@@ -1,3 +1,13 @@
+// Package vos is the virtual OS under monitored runs.
+//
+// Reentrancy: the package is reentrant but an OS instance is not. All
+// package-level state is immutable (sentinel errors and constants),
+// so any number of OS instances may run concurrently on different
+// goroutines — the analysis service's worker shards and the corpus
+// sweeps rely on exactly this. A single OS holds freely-mutated
+// scheduler, filesystem, and process state with no internal locking;
+// everything that touches one instance must stay on one goroutine at
+// a time (the hth.System busy guard enforces this at the API edge).
 package vos
 
 import (

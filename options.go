@@ -167,6 +167,15 @@ func WithFlightDump(path string) Option {
 	return func(c *Config) { c.FlightPath = path }
 }
 
+// WithJobTag tags the run with a job identity: a flight dump armed
+// with WithFlightDump(path) lands at "<path>.<tag>.jsonl.gz" instead
+// of path, so pooled runs sharing a dump location each keep their own
+// post-mortem. The analysis service sets this automatically from the
+// job id.
+func WithJobTag(tag string) Option {
+	return func(c *Config) { c.JobTag = tag }
+}
+
 // WithIntrospection serves live run introspection over HTTP on addr
 // (e.g. "127.0.0.1:8077"): /metrics in Prometheus text format,
 // /events as a filterable SSE stream, /flight as the recorder dump,

@@ -3,6 +3,7 @@ package hth
 import (
 	"io"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/chaos"
@@ -43,6 +44,10 @@ func newRunCore(s *System, cfg Config) *runCore {
 	rc := &runCore{sys: s, cfg: cfg}
 	os := s.OS
 	os.SetMaxSteps(cfg.MaxSteps)
+	// Long-lived sinks shared across pooled runs latch their first
+	// write error; clear it here so Result.ObserverErr reports this
+	// run's health, not a previous run's.
+	obs.ResetErrs(cfg.Observers)
 	// The flight recorder and the introspection server ride the same
 	// bus as user observers. When introspection is on, the server owns
 	// feeding the ring (so /flight and the dump see one stream), and
@@ -195,7 +200,8 @@ func (rc *runCore) finish(root *vos.Process, runErr error, wall time.Duration) *
 		// — flushes the ring to disk for post-mortem replay.
 		if rc.cfg.FlightPath != "" && (len(res.Warnings) > 0 || runErr != nil ||
 			(root != nil && root.Fault != nil) || len(res.Chaos) > 0) {
-			if err := rc.flight.DumpFile(rc.cfg.FlightPath); err != nil && res.ObserverErr == nil {
+			path := flightDumpPath(rc.cfg.FlightPath, rc.cfg.JobTag)
+			if err := rc.flight.DumpFile(path); err != nil && res.ObserverErr == nil {
 				res.ObserverErr = err
 			}
 		}
@@ -272,6 +278,18 @@ func (rc *runCore) publishRunEnd(runErr error, wall time.Duration) {
 		Num: os.TotalSteps, Num2: uint64(wall.Nanoseconds()),
 		Str: runOutcome(runErr),
 	})
+}
+
+// flightDumpPath derives the per-job flight-dump location: with a job
+// tag, "<base>.<tag>.jsonl.gz", where base is the configured path with
+// any ".jsonl"/".jsonl.gz" suffix stripped so tagged and untagged dumps
+// keep one extension. Without a tag the configured path is used as-is.
+func flightDumpPath(path, tag string) string {
+	if tag == "" {
+		return path
+	}
+	base := strings.TrimSuffix(strings.TrimSuffix(path, ".gz"), ".jsonl")
+	return base + "." + tag + ".jsonl.gz"
 }
 
 // runOutcome names a scheduler outcome for run.end events.

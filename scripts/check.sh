@@ -24,6 +24,11 @@ go test -race ./...
 # Robustness gate: zero-rate identity plus fault containment over the
 # full corpus on a fixed seed (see cmd/hth-bench).
 go run ./cmd/hth-bench -chaos 0xC0FFEE,0.05 -parallel 4 >/dev/null
+# Service soak gate: concurrent tenants under a seeded service-level
+# fault storm — every job terminates in a verdict or typed error, no
+# lost jobs, no leaked goroutines, and corpus-through-service sweep
+# signatures bit-identical to batch (see Makefile `soak`).
+make soak
 # Fuzz smoke: the chaos plan parser must never panic on hostile specs.
 go test -fuzz=FuzzChaos -fuzztime=10s ./internal/chaos
 # Trace-tier gates: the full corpus must be bit-identical with traces
