@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test bench tables chaos trace benchgate serve soak
+.PHONY: check test bench tables chaos trace benchgate serve soak elf
 
 # The full pre-merge gate: vet + build + tests + race-detector pass
 # over the parallel corpus runner + seeded chaos sweep + fuzz smoke.
@@ -35,6 +35,16 @@ tables:
 # The observability overhead gate alone (see scripts/benchgate.sh).
 benchgate:
 	sh scripts/benchgate.sh
+
+# The ELF frontend gate: fixture scenarios + symbolized-provenance
+# goldens, the decoder and pinned-layout unit tests, the
+# InstallSource registry/legacy equivalence sweep, and a fuzz smoke
+# proving malformed uploads fail typed, never panic.
+elf:
+	$(GO) test -count=1 -run 'TestTableE1|TestELF|FuzzELFParse|TestDecodeELF' ./internal/corpus ./internal/image
+	$(GO) test -count=1 ./internal/x86 ./internal/loader
+	$(GO) test -count=1 -run TestInstallSource .
+	$(GO) test -fuzz=FuzzELFParse -fuzztime=10s ./internal/image
 
 # Run the evaluation tables with the live introspection server held
 # open on :8077 — curl /metrics, /events, or /flight while it runs;

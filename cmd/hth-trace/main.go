@@ -3,7 +3,7 @@
 // exactly what Harrier's Track_DataFlow sees — or replays a recorded
 // JSONL event trace (the hth.JSONL observer's output).
 //
-//	hth-trace -in prog.s [-limit 200] [-taint] [-provenance] [-perfetto out.json] [arg ...]
+//	hth-trace -in prog.s [-limit 200] [-taint] [-provenance] [-symbols] [-perfetto out.json] [arg ...]
 //	hth-trace -replay run.jsonl[.gz] [-layer vos] [-pid 1] [-kind syscall.enter] [-rule RULE]
 //	hth-trace -replay run.jsonl -summary
 package main
@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	hth "repro"
+	"repro/internal/image"
 	"repro/internal/isa"
 	"repro/internal/obs"
 	"repro/internal/taint"
@@ -30,6 +31,7 @@ func main() {
 		showTaint = flag.Bool("taint", false, "print register tags after each instruction")
 		stdin     = flag.String("stdin", "", "guest stdin")
 		prov      = flag.Bool("provenance", false, "trace taint provenance and print every source's causal chain")
+		symbols   = flag.Bool("symbols", false, "with -provenance: render block hops as image:symbol+delta frames when symbols exist")
 		perfetto  = flag.String("perfetto", "", "with -provenance: write a Chrome trace_event JSON for Perfetto to this file")
 
 		replayIn  = flag.String("replay", "", "replay a JSONL event trace (plain or gzipped) instead of running a guest")
@@ -63,7 +65,11 @@ func main() {
 
 	sys := hth.NewSystem()
 	guestPath := "/bin/" + strings.TrimSuffix(filepath.Base(*in), ".s")
-	if err := sys.InstallSource(guestPath, string(src)); err != nil {
+	if image.IsELF(src) {
+		if err := sys.InstallBinary(guestPath, src); err != nil {
+			fatalf("load: %v", err)
+		}
+	} else if err := sys.InstallSource(guestPath, string(src)); err != nil {
 		fatalf("assemble: %v", err)
 	}
 
@@ -72,6 +78,7 @@ func main() {
 	cfg := hth.DefaultConfig()
 	if *prov {
 		cfg.Provenance = true
+		cfg.Symbolize = *symbols
 	}
 	sn := sys.NewSession(cfg)
 	p, err := sn.Start(hth.RunSpec{

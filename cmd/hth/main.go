@@ -21,6 +21,7 @@ import (
 
 	hth "repro"
 	"repro/internal/corpus"
+	"repro/internal/image"
 	"repro/internal/secpert"
 )
 
@@ -28,7 +29,7 @@ func main() {
 	var (
 		scenario = flag.String("scenario", "", "run a named corpus scenario")
 		list     = flag.Bool("list", false, "list corpus scenarios")
-		prog     = flag.String("prog", "", "assemble and run a guest program from this file")
+		prog     = flag.String("prog", "", "run a guest program from this file (assembly source or ELF32 binary)")
 		stdin    = flag.String("stdin", "", "guest stdin contents")
 		kill     = flag.String("kill", "", "kill the guest at this severity or above (low|medium|high)")
 		verbose  = flag.Bool("verbose", false, "print the expert-system fire trace as it happens")
@@ -115,7 +116,14 @@ func runProgram(path, stdin, kill string, o opts, args []string) {
 	}
 	sys := hth.NewSystem()
 	guestPath := "/bin/" + strings.TrimSuffix(filepath.Base(path), ".s")
-	if err := sys.InstallSource(guestPath, string(src)); err != nil {
+	// Binary payloads (ELF32 executables) go through the
+	// format-agnostic frontend; text stays on the forced asm path so
+	// its compile diagnostics keep their familiar shape.
+	if image.IsELF(src) {
+		if err := sys.InstallBinary(guestPath, src); err != nil {
+			fatalf("load: %v", err)
+		}
+	} else if err := sys.InstallSource(guestPath, string(src)); err != nil {
 		fatalf("assemble: %v", err)
 	}
 	cfg := hth.DefaultConfig()

@@ -1,0 +1,11 @@
+package hth
+
+// SetLegacyInstall flips InstallSource onto the historical direct
+// asm.Assemble path (true) or the format-registry path (false),
+// returning the previous setting. Test-only: the equivalence suite
+// proves the two paths behavior-identical.
+func SetLegacyInstall(v bool) bool {
+	prev := legacyInstall
+	legacyInstall = v
+	return prev
+}

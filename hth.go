@@ -84,6 +84,14 @@ type Config struct {
 	// taint state, so detections and tag sets are bit-identical with it
 	// on or off. Off by default; enable with WithProvenance.
 	Provenance bool
+	// Symbolize renders provenance block hops symbolically when the
+	// owning image carries symbols: "bb /bin/suspect:_start+0x8" instead
+	// of "bb 0x8048008" (frames without a covering symbol keep the raw
+	// address). Requires Provenance; it changes only how chains render,
+	// never what is recorded or detected. Off by default — the default
+	// rendering stays byte-identical to earlier releases — enable with
+	// WithSymbolizedChains.
+	Symbolize bool
 	// FlightSize arms the flight recorder: a fixed-size, allocation-free
 	// ring holding the last N events even when no other observer is
 	// attached. Zero leaves it off unless FlightPath or Introspect is
@@ -265,14 +273,41 @@ func (s *System) Install(path string, img *image.Image) {
 	s.OS.FS.Install(path, img)
 }
 
-// InstallSource assembles src and installs it at path.
+// legacyInstall reroutes InstallSource through the historical direct
+// asm.Assemble path instead of the format registry; it exists only so
+// the equivalence test can prove the two paths behavior-identical.
+var legacyInstall = false
+
+// InstallSource assembles src and installs it at path. It forces the
+// text frontend (image.DecodeAs) rather than sniffing, so arbitrary
+// source text is never mis-detected, and compile diagnostics come back
+// exactly as asm.Assemble reports them.
 func (s *System) InstallSource(path, src string) error {
-	img, err := asm.Assemble(path, src)
+	if legacyInstall {
+		img, err := asm.Assemble(path, src)
+		if err != nil {
+			return err
+		}
+		s.OS.FS.Install(path, img)
+		return nil
+	}
+	img, err := image.DecodeAs("asm", path, []byte(src))
 	if err != nil {
 		return err
 	}
 	s.OS.FS.Install(path, img)
 	return nil
+}
+
+// InstallBinary places a raw binary at path, decoding it through the
+// format-agnostic frontend registry (ELF magic first, then the text
+// heuristic). The raw bytes are retained alongside the decoded image,
+// so a guest execve of the path re-decodes exactly what was installed.
+// Structural failures — a malformed ELF, machine code outside the
+// supported subset — wrap image.ErrBadImage.
+func (s *System) InstallBinary(path string, data []byte) error {
+	_, err := s.OS.FS.InstallBinary(path, data)
+	return err
 }
 
 // MustInstallSource is InstallSource for statically known-good

@@ -1,0 +1,43 @@
+package asm
+
+import "repro/internal/image"
+
+// The text frontend registers behind the same format-agnostic decode
+// chain as the ELF frontend, so loader.Open and the install APIs
+// accept either representation. Detection is a cheap text heuristic
+// (binary formats are sniffed by magic before this runs in
+// registration order); a caller that knows it has assembly source
+// forces this frontend with image.DecodeAs("asm", ...) instead, which
+// keeps arbitrary text from being mis-sniffed and keeps the compile
+// diagnostics (ErrorList) unwrapped — a program that fails to
+// assemble is a bad program, not a malformed container.
+
+func init() {
+	image.RegisterFormat(image.Format{
+		Name:   "asm",
+		Detect: looksLikeSource,
+		Decode: func(name string, data []byte) (*image.Image, error) {
+			return Assemble(name, string(data))
+		},
+	})
+}
+
+// looksLikeSource reports whether data plausibly holds assembly text:
+// no NUL bytes in the leading window. ELF (and any other binary
+// format) is rejected by its magic so a crafted text file cannot
+// shadow a binary frontend registered earlier.
+func looksLikeSource(data []byte) bool {
+	if image.IsELF(data) {
+		return false
+	}
+	n := len(data)
+	if n > 512 {
+		n = 512
+	}
+	for i := 0; i < n; i++ {
+		if data[i] == 0 {
+			return false
+		}
+	}
+	return true
+}

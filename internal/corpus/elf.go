@@ -1,0 +1,72 @@
+package corpus
+
+import (
+	_ "embed"
+
+	hth "repro"
+)
+
+// The ELF fixture pair: genuine ELF32 i386 executables assembled by
+// the real GNU toolchain (as --32 + ld -m elf_i386; sources and
+// build.sh sit next to the binaries in testdata/elf/) and checked in
+// so the suite never needs a cross-assembler. They enter the guest
+// through System.InstallBinary — the format-agnostic frontend path —
+// and run under the full three-tier monitor like any in-house image.
+//
+// Table "E1" is not a paper table: it is the frontend-equivalence
+// extension — the same PWSteal-style behaviour the T1 model encodes,
+// expressed as real machine code, must produce the same detections.
+
+//go:embed testdata/elf/trojan
+var elfTrojanBin []byte
+
+//go:embed testdata/elf/benign
+var elfBenignBin []byte
+
+// ELFTrojan returns the checked-in trojan ELF32 executable (a fresh
+// copy; callers may mutate it for malformed-input tests).
+func ELFTrojan() []byte { return append([]byte(nil), elfTrojanBin...) }
+
+// ELFBenign returns the checked-in benign ELF32 executable.
+func ELFBenign() []byte { return append([]byte(nil), elfBenignBin...) }
+
+// mustInstallBinary is Setup-hook sugar mirroring MustInstallSource.
+func mustInstallBinary(sys *hth.System, path string, data []byte) {
+	if err := sys.InstallBinary(path, data); err != nil {
+		panic(err)
+	}
+}
+
+func init() {
+	register(&Scenario{
+		Name:  "elf-trojan",
+		Table: "E1",
+		Row:   "PWSteal (ELF32)",
+		Desc:  "real-toolchain ELF32 trojan: input logged to a file, exfiltrated to a hardcoded address",
+		Setup: func(sys *hth.System) {
+			sys.AddRemote("collector.evil:80", func() vosScript { return sinkScript{} })
+			mustInstallBinary(sys, "/bin/trojan", ELFTrojan())
+		},
+		Spec: hth.RunSpec{Path: "/bin/trojan", Stdin: []byte("alice hunter2")},
+		Expect: Expectation{
+			Warnings: []ExpectWarning{
+				// Captured input into the predefined file.
+				{Severity: hth.Medium, Contains: "The Data written originated from USER INPUT"},
+				// The collected file to the hardcoded address.
+				{Severity: hth.High, Contains: "Data Flowing From: formlog.dat To: collector.evil:80"},
+			},
+		},
+	})
+
+	register(&Scenario{
+		Name:  "elf-benign",
+		Table: "E1",
+		Row:   "echo (ELF32)",
+		Desc:  "real-toolchain ELF32 echo filter: stdin to stdout raises nothing",
+		Setup: func(sys *hth.System) {
+			mustInstallBinary(sys, "/bin/echoer", ELFBenign())
+		},
+		Spec:   hth.RunSpec{Path: "/bin/echoer", Stdin: []byte("hello, world\n")},
+		Expect: Expectation{Clean: true, ExactCount: 0},
+	})
+}

@@ -1,0 +1,165 @@
+package corpus
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	hth "repro"
+	"repro/internal/image"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestTableE1FrontendEquivalence runs the ELF fixture scenarios: the
+// real-toolchain trojan must be detected and the real-toolchain echo
+// filter must stay clean, through the same Setup/Run/Check harness as
+// every paper table.
+func TestTableE1FrontendEquivalence(t *testing.T) { runTable(t, "E1") }
+
+// TestELFGoldenVerdicts pins the full observable outcome of the ELF
+// fixtures byte-for-byte: verdict, warning report, and the symbolized
+// provenance chains (the run is deterministic). A chain frame like
+// "bb /bin/trojan:exfil+0x14" proves the ELF symbol table flowed
+// through the loader into the provenance renderer. Regenerate
+// deliberately with -update.
+func TestELFGoldenVerdicts(t *testing.T) {
+	for _, name := range []string{"elf-trojan", "elf-benign"} {
+		t.Run(name, func(t *testing.T) {
+			sc, ok := ByName(name)
+			if !ok {
+				t.Fatalf("%s not registered", name)
+			}
+			res, err := sc.RunWith(func(cfg *hth.Config) {
+				cfg.Provenance = true
+				cfg.Symbolize = true
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var b strings.Builder
+			fmt.Fprintf(&b, "verdict: %s\n", sc.Verdict(res))
+			fmt.Fprintf(&b, "--- report ---\n%s", res.Report())
+			fmt.Fprintf(&b, "--- chains ---\n")
+			for _, ch := range res.Provenance.Chains() {
+				fmt.Fprintf(&b, "%s\n", ch)
+			}
+			got := []byte(b.String())
+			golden := filepath.Join("testdata", "elf", name+".golden")
+			if *updateGolden {
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("diverged from golden:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// TestELFSymbolizedChains asserts the symbolized rendering cites ELF
+// symbol names, and that the same run without Symbolize keeps the raw
+// addresses — symbolization is presentation-only and opt-in.
+func TestELFSymbolizedChains(t *testing.T) {
+	sc, _ := ByName("elf-trojan")
+	sym, err := sc.RunWith(func(cfg *hth.Config) { cfg.Provenance = true; cfg.Symbolize = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := sc.RunWith(func(cfg *hth.Config) { cfg.Provenance = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	symText := strings.Join(sym.Provenance.Chains(), "\n")
+	rawText := strings.Join(raw.Provenance.Chains(), "\n")
+	if !strings.Contains(symText, "bb /bin/trojan:") {
+		t.Errorf("symbolized chains cite no /bin/trojan symbol frames:\n%s", symText)
+	}
+	if strings.Contains(rawText, "bb /bin/trojan:") {
+		t.Errorf("unsymbolized chains unexpectedly cite symbol frames:\n%s", rawText)
+	}
+	if !strings.Contains(rawText, "bb 0x") {
+		t.Errorf("unsymbolized chains carry no raw block addresses:\n%s", rawText)
+	}
+	// Detections are identical either way; only the rendering differs.
+	if len(sym.Warnings) != len(raw.Warnings) {
+		t.Errorf("warning count diverged: symbolized %d, raw %d", len(sym.Warnings), len(raw.Warnings))
+	}
+	for i := range raw.Warnings {
+		if sym.Warnings[i].Message != raw.Warnings[i].Message {
+			t.Errorf("warning %d message diverged between symbolized and raw runs", i)
+		}
+	}
+}
+
+// TestELFBuildID asserts the toolchain-stamped build ID survives the
+// decode (ld ran with --build-id=sha1: 40 hex digits).
+func TestELFBuildID(t *testing.T) {
+	img, err := image.Decode("/bin/trojan", ELFTrojan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img.BuildID) != 40 {
+		t.Errorf("BuildID = %q, want 40 hex digits", img.BuildID)
+	}
+}
+
+// TestELFServiceJobs drives the ELF payloads through the analysis
+// service: a well-formed binary terminates in a verdict with warnings,
+// and a malformed payload is rejected at submission with the typed
+// bad-image error — never a worker crash.
+func TestELFServiceJobs(t *testing.T) {
+	svc := hth.NewService(hth.ServiceConfig{})
+	defer svc.Drain(context.Background())
+
+	h, err := svc.Submit(hth.JobSpec{
+		Binaries:   map[string][]byte{"/bin/trojan": ELFTrojan()},
+		Path:       "/bin/trojan",
+		Stdin:      []byte("alice hunter2"),
+		Provenance: true,
+		Symbolize:  true,
+		Setup: func(sys *hth.System) {
+			sys.AddRemote("collector.evil:80", func() vosScript { return sinkScript{} })
+		},
+	})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	res, err := h.Wait(ctx)
+	if err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	if res.Status != "done" {
+		t.Fatalf("job status %q (error %v), want done", res.Status, res.Error)
+	}
+	if len(res.Warnings) == 0 {
+		t.Fatal("ELF trojan job produced no warnings")
+	}
+
+	// Malformed payload: a truncated ELF is a typed synchronous
+	// rejection, code bad-image.
+	_, err = svc.Submit(hth.JobSpec{
+		Binaries: map[string][]byte{"/bin/bad": ELFTrojan()[:40]},
+		Path:     "/bin/bad",
+	})
+	jerr, ok := err.(*hth.JobError)
+	if !ok {
+		t.Fatalf("truncated ELF: got %v, want *JobError", err)
+	}
+	if jerr.Code != hth.JobBadImage {
+		t.Errorf("truncated ELF: code %q, want %q", jerr.Code, hth.JobBadImage)
+	}
+}

@@ -1,0 +1,24 @@
+# The benign half of the ELF fixture pair: an echo-like filter that
+# reads stdin and writes it back to stdout — user input flowing to the
+# user's own terminal raises no policy concern. Exercises the
+# SHT_NOBITS (.bss) path of the ELF frontend alongside trojan.s's
+# initialized .data.
+	.text
+	.globl	_start
+_start:
+	movl	$3, %eax		# read(0, buf, 64)
+	movl	$0, %ebx
+	movl	$buf, %ecx
+	movl	$64, %edx
+	int	$0x80
+	movl	%eax, %edx
+	movl	$4, %eax		# write(1, buf, n)
+	movl	$1, %ebx
+	movl	$buf, %ecx
+	int	$0x80
+	movl	$1, %eax		# exit(0)
+	movl	$0, %ebx
+	int	$0x80
+
+	.bss
+buf:	.space	64

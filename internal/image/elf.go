@@ -1,0 +1,342 @@
+package image
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// This file parses 32-bit little-endian ELF executables — the format
+// `as --32` + `ld -m elf_i386` emit — into a structural form the ELF
+// frontend (elfimage.go) converts into a loadable Image. Every field
+// read is bounds-checked and every failure is a typed error wrapping
+// ErrBadImage: a malformed or adversarial upload must fail cleanly,
+// never panic (the FuzzELFParse target enforces this).
+
+// ELF constants (only the subset the frontend accepts).
+const (
+	elfClass32   = 1 // EI_CLASS: 32-bit objects
+	elfData2LSB  = 1 // EI_DATA: little-endian
+	elfTypeExec  = 2 // e_type: executable
+	elfMachine86 = 3 // e_machine: Intel 80386
+
+	elfSHTProgbits = 1 // section with file-backed contents
+	elfSHTSymtab   = 2 // symbol table
+	elfSHTStrtab   = 3 // string table
+	elfSHTNobits   = 8 // section occupying no file space (.bss)
+	elfSHTNote     = 7 // note section (build IDs)
+
+	elfSHFWrite = 0x1 // section is writable
+	elfSHFAlloc = 0x2 // section occupies memory at run time
+	elfSHFExec  = 0x4 // section holds machine code
+
+	elfSTTObject = 1 // data symbol
+	elfSTTFunc   = 2 // code symbol
+
+	elfNoteGNUBuildID = 3 // NT_GNU_BUILD_ID
+
+	elfEhdrSize  = 52 // Elf32_Ehdr
+	elfShdrSize  = 40 // Elf32_Shdr
+	elfPhdrSize  = 32 // Elf32_Phdr
+	elfSymSize   = 16 // Elf32_Sym
+	elfMaxHdrs   = 4096
+	elfMaxStrLen = 4096
+)
+
+// ELFMagic is the four identification bytes every ELF object starts
+// with; Detect sniffing is exactly this prefix.
+var ELFMagic = []byte{0x7f, 'E', 'L', 'F'}
+
+// ELFError is a structural parse failure: what was malformed and
+// where. It wraps ErrBadImage so transports can reject the upload with
+// a typed 400 instead of crashing a worker.
+type ELFError struct {
+	Off int    // file offset of the offending structure
+	Msg string // what was wrong
+}
+
+func (e *ELFError) Error() string {
+	return fmt.Sprintf("elf: offset %#x: %s", e.Off, e.Msg)
+}
+
+// Unwrap ties every ELF parse failure to the ErrBadImage sentinel.
+func (e *ELFError) Unwrap() error { return ErrBadImage }
+
+func elfErr(off int, format string, args ...any) error {
+	return &ELFError{Off: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ELFSection is one parsed section header with its contents.
+type ELFSection struct {
+	Name  string
+	Type  uint32
+	Flags uint32
+	Addr  uint32 // link-time virtual address
+	Size  uint32
+	Data  []byte // nil for SHT_NOBITS
+	Link  uint32 // sh_link (symtab -> strtab)
+}
+
+// Alloc reports whether the section occupies guest memory.
+func (s *ELFSection) Alloc() bool { return s.Flags&elfSHFAlloc != 0 }
+
+// Exec reports whether the section holds machine code.
+func (s *ELFSection) Exec() bool { return s.Flags&elfSHFExec != 0 }
+
+// ELFProg is one parsed program header. The frontend lays out by
+// sections (they carry names and symbols), but the segment view is
+// parsed, validated, and exposed for consumers that want it.
+type ELFProg struct {
+	Type   uint32
+	Off    uint32
+	Vaddr  uint32
+	Filesz uint32
+	Memsz  uint32
+	Flags  uint32
+}
+
+// ELFSym is one symbol-table entry with its name resolved.
+type ELFSym struct {
+	Name  string
+	Value uint32
+	Size  uint32
+	Info  byte
+	Shndx uint16 // defining section index
+}
+
+// Type returns the symbol's STT type nibble.
+func (s *ELFSym) Type() byte { return s.Info & 0xf }
+
+// ELF is a parsed 32-bit executable.
+type ELF struct {
+	Entry    uint32
+	Sections []ELFSection
+	Progs    []ELFProg
+	Symbols  []ELFSym
+	BuildID  string // hex NT_GNU_BUILD_ID, "" when absent
+}
+
+// IsELF reports whether data starts with the ELF identification magic.
+func IsELF(data []byte) bool {
+	return len(data) >= len(ELFMagic) &&
+		data[0] == ELFMagic[0] && data[1] == ELFMagic[1] &&
+		data[2] == ELFMagic[2] && data[3] == ELFMagic[3]
+}
+
+// ParseELF parses a 32-bit little-endian i386 executable. It accepts
+// exactly the shape the reference toolchain produces (ET_EXEC, EM_386)
+// and fails with a typed *ELFError (wrapping ErrBadImage) on anything
+// else — including every out-of-bounds header, section, string, or
+// symbol reference a truncated or adversarial file can contain.
+func ParseELF(data []byte) (*ELF, error) {
+	le := binary.LittleEndian
+	if !IsELF(data) {
+		return nil, elfErr(0, "bad magic")
+	}
+	if len(data) < elfEhdrSize {
+		return nil, elfErr(0, "truncated header: %d bytes", len(data))
+	}
+	if data[4] != elfClass32 {
+		return nil, elfErr(4, "unsupported class %d (want ELFCLASS32)", data[4])
+	}
+	if data[5] != elfData2LSB {
+		return nil, elfErr(5, "unsupported byte order %d (want little-endian)", data[5])
+	}
+	if typ := le.Uint16(data[16:]); typ != elfTypeExec {
+		return nil, elfErr(16, "unsupported object type %d (want ET_EXEC)", typ)
+	}
+	if mach := le.Uint16(data[18:]); mach != elfMachine86 {
+		return nil, elfErr(18, "unsupported machine %d (want EM_386)", mach)
+	}
+	f := &ELF{Entry: le.Uint32(data[24:])}
+
+	// Program headers.
+	phoff := int(le.Uint32(data[28:]))
+	phentsize := int(le.Uint16(data[42:]))
+	phnum := int(le.Uint16(data[44:]))
+	if phnum > 0 {
+		if phentsize < elfPhdrSize {
+			return nil, elfErr(42, "program header entry size %d too small", phentsize)
+		}
+		if phnum > elfMaxHdrs {
+			return nil, elfErr(44, "implausible program header count %d", phnum)
+		}
+		for i := 0; i < phnum; i++ {
+			off := phoff + i*phentsize
+			if off < 0 || off+elfPhdrSize > len(data) {
+				return nil, elfErr(off, "program header %d out of file bounds", i)
+			}
+			p := ELFProg{
+				Type:   le.Uint32(data[off:]),
+				Off:    le.Uint32(data[off+4:]),
+				Vaddr:  le.Uint32(data[off+8:]),
+				Filesz: le.Uint32(data[off+16:]),
+				Memsz:  le.Uint32(data[off+20:]),
+				Flags:  le.Uint32(data[off+24:]),
+			}
+			if end := uint64(p.Off) + uint64(p.Filesz); end > uint64(len(data)) {
+				return nil, elfErr(off, "segment %d file range [%#x,%#x) out of bounds", i, p.Off, end)
+			}
+			if p.Memsz < p.Filesz {
+				return nil, elfErr(off, "segment %d memsz %#x < filesz %#x", i, p.Memsz, p.Filesz)
+			}
+			f.Progs = append(f.Progs, p)
+		}
+	}
+
+	// Section headers.
+	shoff := int(le.Uint32(data[32:]))
+	shentsize := int(le.Uint16(data[46:]))
+	shnum := int(le.Uint16(data[48:]))
+	shstrndx := int(le.Uint16(data[50:]))
+	if shnum == 0 {
+		return nil, elfErr(48, "no section headers")
+	}
+	if shentsize < elfShdrSize {
+		return nil, elfErr(46, "section header entry size %d too small", shentsize)
+	}
+	if shnum > elfMaxHdrs {
+		return nil, elfErr(48, "implausible section header count %d", shnum)
+	}
+	type rawShdr struct {
+		name, typ, flags, addr, off, size, link uint32
+	}
+	raw := make([]rawShdr, shnum)
+	for i := 0; i < shnum; i++ {
+		off := shoff + i*shentsize
+		if off < 0 || off+elfShdrSize > len(data) {
+			return nil, elfErr(off, "section header %d out of file bounds", i)
+		}
+		raw[i] = rawShdr{
+			name:  le.Uint32(data[off:]),
+			typ:   le.Uint32(data[off+4:]),
+			flags: le.Uint32(data[off+8:]),
+			addr:  le.Uint32(data[off+12:]),
+			off:   le.Uint32(data[off+16:]),
+			size:  le.Uint32(data[off+20:]),
+			link:  le.Uint32(data[off+24:]),
+		}
+	}
+	if shstrndx < 0 || shstrndx >= shnum {
+		return nil, elfErr(50, "section name table index %d out of range", shstrndx)
+	}
+	shstr, err := elfSectionBytes(data, &raw[shstrndx].off, raw[shstrndx].typ, raw[shstrndx].size, shstrndx)
+	if err != nil {
+		return nil, err
+	}
+	f.Sections = make([]ELFSection, shnum)
+	for i := 0; i < shnum; i++ {
+		r := &raw[i]
+		name, err := elfString(shstr, r.name)
+		if err != nil {
+			return nil, elfErr(shoff+i*shentsize, "section %d name: %v", i, err)
+		}
+		sec := ELFSection{
+			Name: name, Type: r.typ, Flags: r.flags,
+			Addr: r.addr, Size: r.size, Link: r.link,
+		}
+		if r.typ != elfSHTNobits && r.typ != 0 {
+			b, err := elfSectionBytes(data, &r.off, r.typ, r.size, i)
+			if err != nil {
+				return nil, err
+			}
+			sec.Data = b
+		}
+		f.Sections[i] = sec
+	}
+
+	// Symbol tables (usually one .symtab).
+	for i := range f.Sections {
+		sec := &f.Sections[i]
+		if sec.Type != elfSHTSymtab {
+			continue
+		}
+		if int(sec.Link) >= len(f.Sections) || f.Sections[sec.Link].Type != elfSHTStrtab {
+			return nil, elfErr(0, "symtab %q links to bad string table %d", sec.Name, sec.Link)
+		}
+		strs := f.Sections[sec.Link].Data
+		n := len(sec.Data) / elfSymSize
+		for j := 0; j < n; j++ {
+			e := sec.Data[j*elfSymSize:]
+			name, err := elfString(strs, binary.LittleEndian.Uint32(e))
+			if err != nil {
+				return nil, elfErr(0, "symbol %d name: %v", j, err)
+			}
+			f.Symbols = append(f.Symbols, ELFSym{
+				Name:  name,
+				Value: binary.LittleEndian.Uint32(e[4:]),
+				Size:  binary.LittleEndian.Uint32(e[8:]),
+				Info:  e[12],
+				Shndx: binary.LittleEndian.Uint16(e[14:]),
+			})
+		}
+	}
+
+	// Build ID from SHT_NOTE sections (ld --build-id).
+	for i := range f.Sections {
+		if f.Sections[i].Type == elfSHTNote {
+			if id := elfBuildID(f.Sections[i].Data); id != "" {
+				f.BuildID = id
+				break
+			}
+		}
+	}
+	return f, nil
+}
+
+// elfSectionBytes bounds-checks and slices one section's file range.
+func elfSectionBytes(data []byte, off *uint32, typ, size uint32, idx int) ([]byte, error) {
+	if typ == 0 || size == 0 {
+		return nil, nil
+	}
+	end := uint64(*off) + uint64(size)
+	if end > uint64(len(data)) {
+		return nil, elfErr(int(*off), "section %d range [%#x,%#x) out of file bounds", idx, *off, end)
+	}
+	return data[*off:end], nil
+}
+
+// elfString reads a NUL-terminated string out of a string table.
+func elfString(strtab []byte, off uint32) (string, error) {
+	if off >= uint32(len(strtab)) {
+		if off == 0 { // empty table, index 0: the empty name
+			return "", nil
+		}
+		return "", fmt.Errorf("string offset %#x outside table of %d bytes", off, len(strtab))
+	}
+	for i := int(off); i < len(strtab) && i-int(off) <= elfMaxStrLen; i++ {
+		if strtab[i] == 0 {
+			return string(strtab[off:i]), nil
+		}
+	}
+	return "", fmt.Errorf("unterminated string at %#x", off)
+}
+
+// elfBuildID extracts the hex NT_GNU_BUILD_ID from a note section's
+// contents, or "" when the section holds no such note. Malformed note
+// records terminate the scan; a build ID is advisory, never an error.
+func elfBuildID(note []byte) string {
+	le := binary.LittleEndian
+	for len(note) >= 12 {
+		namesz := int(le.Uint32(note))
+		descsz := int(le.Uint32(note[4:]))
+		typ := le.Uint32(note[8:])
+		nameEnd := 12 + namesz
+		descStart := nameEnd + (-namesz & 3)
+		descEnd := descStart + descsz
+		if nameEnd < 12 || nameEnd > len(note) ||
+			descEnd < descStart || descEnd > len(note) {
+			return ""
+		}
+		name := note[12:nameEnd]
+		if typ == elfNoteGNUBuildID && len(name) >= 4 && string(name[:4]) == "GNU\x00" {
+			return hex.EncodeToString(note[descStart:descEnd])
+		}
+		next := descEnd + (-descsz & 3)
+		if next <= 0 || next > len(note) {
+			return ""
+		}
+		note = note[next:]
+	}
+	return ""
+}

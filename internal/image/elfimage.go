@@ -1,0 +1,168 @@
+package image
+
+import (
+	"fmt"
+
+	"repro/internal/x86"
+)
+
+// The ELF frontend: parse a 32-bit i386 executable (elf.go), translate
+// its executable sections from machine code into the internal ISA
+// (internal/x86), and assemble a loadable Image.
+//
+// Layout contract: data sections are pinned at their link-time virtual
+// addresses (Section.Addr), so the absolute data references the
+// compiler baked into immediates and displacements remain valid
+// without relocation knowledge. Translated text cannot keep its
+// addresses (one i386 instruction may expand to several fixed-width
+// internal ones), so text sections auto-lay-out and every direct
+// branch is emitted as a Reloc against a synthetic section symbol the
+// loader rebases — exactly the mechanism in-house images use.
+
+func init() {
+	RegisterFormat(Format{
+		Name:   "elf",
+		Detect: IsELF,
+		Decode: DecodeELF,
+	})
+}
+
+// DecodeELF parses and translates a 32-bit i386 ELF executable into a
+// loadable Image named name. Structural failures (parser) and
+// out-of-subset machine code (translator) both wrap ErrBadImage.
+func DecodeELF(name string, data []byte) (*Image, error) {
+	f, err := ParseELF(data)
+	if err != nil {
+		return nil, err
+	}
+	im := New(name)
+	im.BuildID = f.BuildID
+
+	// Map ELF section index -> Image section index (-1 = not mapped),
+	// keeping the per-text-section translation for symbol conversion.
+	secMap := make([]int, len(f.Sections))
+	trans := make([]*x86.Translation, len(f.Sections))
+	for i := range secMap {
+		secMap[i] = -1
+	}
+	var textSecs []int // ELF indices of executable sections, in order
+	for i := range f.Sections {
+		es := &f.Sections[i]
+		if !es.Alloc() || es.Size == 0 {
+			continue
+		}
+		if es.Exec() {
+			tr, err := x86.Translate(es.Data, es.Addr)
+			if err != nil {
+				return nil, fmt.Errorf("elf %s: section %s: %v: %w", name, es.Name, err, ErrBadImage)
+			}
+			secMap[i] = len(im.Sections)
+			trans[i] = tr
+			textSecs = append(textSecs, i)
+			im.Sections = append(im.Sections, Section{
+				Name: es.Name, Kind: Text, Instrs: tr.Instrs,
+			})
+			continue
+		}
+		kind := ROData
+		if es.Flags&elfSHFWrite != 0 {
+			kind = Data
+		}
+		bytes := es.Data
+		if es.Type == elfSHTNobits {
+			bytes = make([]byte, es.Size)
+		}
+		secMap[i] = len(im.Sections)
+		im.Sections = append(im.Sections, Section{
+			Name: es.Name, Kind: kind, Data: bytes, Addr: es.Addr,
+		})
+	}
+	if len(textSecs) == 0 {
+		return nil, fmt.Errorf("elf %s: no executable sections: %w", name, ErrBadImage)
+	}
+
+	// Synthetic section symbols anchor branch relocations: one per
+	// text section, at internal instruction 0, named after the section
+	// (".text"). Real symbols may shadow an offset but not the name —
+	// ELF symbol names never start with '.' in practice.
+	for _, ei := range textSecs {
+		im.Symbols[f.Sections[ei].Name] = Symbol{Section: secMap[ei], Offset: 0}
+		for _, instr := range trans[ei].Branches {
+			im.Relocs = append(im.Relocs, Reloc{
+				Section: secMap[ei], Instr: instr, Slot: SlotA, Symbol: f.Sections[ei].Name,
+			})
+		}
+	}
+
+	// Symbol table: text symbols become instruction indices via the
+	// translation's offset map; data symbols become byte offsets.
+	// Symbols that do not land on an instruction boundary (alignment
+	// padding, mid-instruction labels) are skipped, not fatal.
+	for _, sym := range f.Symbols {
+		if sym.Name == "" || int(sym.Shndx) >= len(f.Sections) {
+			continue
+		}
+		si := secMap[sym.Shndx]
+		if si < 0 {
+			continue
+		}
+		switch sym.Type() {
+		case elfSTTFunc, elfSTTObject, 0: // notype: as emits labels as notype
+		default:
+			continue
+		}
+		es := &f.Sections[sym.Shndx]
+		if tr := trans[sym.Shndx]; tr != nil {
+			idx, ok := tr.IndexOf(sym.Value - es.Addr)
+			if !ok {
+				continue
+			}
+			im.Symbols[sym.Name] = Symbol{Section: si, Offset: idx}
+			continue
+		}
+		off := sym.Value - es.Addr
+		if off > uint32(len(im.Sections[si].Data)) {
+			continue
+		}
+		im.Symbols[sym.Name] = Symbol{Section: si, Offset: int(off)}
+	}
+
+	// Entry point: find the executable section containing e_entry and
+	// name (or synthesize) its symbol. Candidate names are taken from
+	// the symbol table in file order, so the choice is deterministic.
+	entryNamed := false
+	for _, ei := range textSecs {
+		es := &f.Sections[ei]
+		if f.Entry < es.Addr || f.Entry >= es.Addr+es.Size {
+			continue
+		}
+		idx, ok := trans[ei].IndexOf(f.Entry - es.Addr)
+		if !ok {
+			return nil, fmt.Errorf("elf %s: entry %#x inside an instruction: %w", name, f.Entry, ErrBadImage)
+		}
+		for _, sym := range f.Symbols {
+			if sym.Name == "" || int(sym.Shndx) != ei {
+				continue
+			}
+			if s, have := im.Symbols[sym.Name]; have && s.Section == secMap[ei] && s.Offset == idx {
+				im.Entry = sym.Name
+				entryNamed = true
+				break
+			}
+		}
+		if !entryNamed {
+			im.Entry = "_start"
+			im.Symbols["_start"] = Symbol{Section: secMap[ei], Offset: idx}
+			entryNamed = true
+		}
+		break
+	}
+	if !entryNamed {
+		return nil, fmt.Errorf("elf %s: entry %#x outside every executable section: %w", name, f.Entry, ErrBadImage)
+	}
+
+	if err := im.Validate(); err != nil {
+		return nil, fmt.Errorf("%v: %w", err, ErrBadImage)
+	}
+	return im, nil
+}

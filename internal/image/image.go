@@ -43,6 +43,12 @@ type Section struct {
 	Kind   SectionKind
 	Instrs []isa.Instr // Text only
 	Data   []byte      // Data/ROData only
+	// Addr, when non-zero, pins the section at a fixed guest address
+	// instead of the loader's contiguous auto-layout. The ELF frontend
+	// pins data sections at their link-time virtual addresses so
+	// absolute data references in translated code stay valid; the
+	// in-house text frontend always auto-lays-out (Addr == 0).
+	Addr uint32
 }
 
 // Size returns the section's size in guest address units.
@@ -98,6 +104,9 @@ type Image struct {
 	DataRels []DataReloc
 	Imports  []string // shared objects this image needs, e.g. "libc.so"
 	Natives  []string // native routine names, indexed by Instr.Native
+	// BuildID is the toolchain-stamped identity of the binary (the hex
+	// NT_GNU_BUILD_ID for ELF images; empty for in-house images).
+	BuildID string
 }
 
 // New returns an empty image with the given name.
@@ -157,6 +166,17 @@ func (im *Image) Validate() error {
 	return nil
 }
 
+// HasEntry reports whether the image defines its entry symbol (Entry,
+// defaulting to "_start") — i.e. whether it can start a process.
+func (im *Image) HasEntry() bool {
+	entry := im.Entry
+	if entry == "" {
+		entry = "_start"
+	}
+	_, ok := im.Symbols[entry]
+	return ok
+}
+
 // Section returns the named section, or nil.
 func (im *Image) Section(name string) *Section {
 	for i := range im.Sections {
@@ -169,14 +189,33 @@ func (im *Image) Section(name string) *Section {
 
 // TextSymbols returns instruction-index -> name maps per text section,
 // used by the loader to label spans for disassembly and routine hooks.
+// When several symbols share an offset (the ELF frontend's synthetic
+// ".text" section symbol aliases the first real label) the winner is
+// deterministic: real names beat dot-prefixed section names, then the
+// lexicographically smaller name wins.
 func (im *Image) TextSymbols(section int) map[int]string {
 	out := map[int]string{}
 	for name, sym := range im.Symbols {
-		if sym.Section == section {
-			out[sym.Offset] = name
+		if sym.Section != section {
+			continue
 		}
+		if cur, taken := out[sym.Offset]; taken && !preferName(name, cur) {
+			continue
+		}
+		out[sym.Offset] = name
 	}
 	return out
+}
+
+// preferName reports whether a should displace b as the display name
+// for a shared symbol offset.
+func preferName(a, b string) bool {
+	aDot := len(a) > 0 && a[0] == '.'
+	bDot := len(b) > 0 && b[0] == '.'
+	if aDot != bDot {
+		return bDot
+	}
+	return a < b
 }
 
 // Size returns the total mapped size of the image.

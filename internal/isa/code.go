@@ -230,6 +230,35 @@ func (cm *CodeMap) SymbolAddr(name string) (uint32, bool) {
 	return 0, false
 }
 
+// Symbolize resolves a code address to a symbolic frame,
+// "image:symbol+0xdelta" (the +delta suffix is omitted at the symbol
+// itself), using the nearest preceding routine symbol of the owning
+// span. It reports false when no span covers addr or the span carries
+// no symbol at or before it — callers fall back to the raw address.
+// Unlike Find it never touches the lookup cache, so renderers may call
+// it while the owning CPU is executing.
+func (cm *CodeMap) Symbolize(addr uint32) (string, bool) {
+	i := sort.Search(len(cm.spans), func(i int) bool { return cm.spans[i].End() > addr })
+	if i >= len(cm.spans) || !cm.spans[i].Contains(addr) {
+		return "", false
+	}
+	s := cm.spans[i]
+	idx := s.Index(addr)
+	best := -1
+	for j := range s.Symbols {
+		if j <= idx && j > best {
+			best = j
+		}
+	}
+	if best < 0 {
+		return "", false
+	}
+	if delta := uint32(idx-best) * InstrSize; delta != 0 {
+		return fmt.Sprintf("%s:%s+%#x", s.Image, s.Symbols[best], delta), true
+	}
+	return fmt.Sprintf("%s:%s", s.Image, s.Symbols[best]), true
+}
+
 // Clone returns a code map sharing the same (immutable) spans. The
 // clone's cache is independent.
 func (cm *CodeMap) Clone() *CodeMap {

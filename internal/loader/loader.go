@@ -163,16 +163,65 @@ func (m *Map) load(cpu *isa.CPU, img *image.Image, env *Env, root bool) (*Loaded
 		li.Base = m.libNext
 	}
 
-	// Lay out sections contiguously, page-aligned.
-	addr := li.Base
+	// Pinned sections (Section.Addr != 0: the ELF frontend keeps data
+	// at its link-time virtual addresses) claim their ranges first;
+	// the contiguous page-aligned auto-layout cursor then starts past
+	// the base and past every pinned range, so the two never collide.
+	// Images with no pinned sections — every in-house image — take the
+	// exact layout they always have.
 	li.SectionBases = make([]uint32, len(img.Sections))
+	addr := li.Base
+	lo, hi := li.Base, li.Base
 	for i := range img.Sections {
+		sec := &img.Sections[i]
+		if sec.Addr == 0 {
+			continue
+		}
+		li.SectionBases[i] = sec.Addr
+		end := sec.Addr + sec.Size()
+		if sec.Addr < lo {
+			lo = sec.Addr
+		}
+		if end > hi {
+			hi = end
+		}
+		if a := align(end); a > addr {
+			addr = a
+		}
+		// A pinned range colliding with an already-mapped image is a
+		// malformed or adversarial layout: fail the load, don't
+		// silently clobber another image's memory.
+		for _, prev := range m.order {
+			if sec.Addr < prev.End && prev.Base < end {
+				return nil, fmt.Errorf("loader: image %s: section %s at %#x overlaps %s [%#x,%#x)",
+					img.Name, sec.Name, sec.Addr, prev.Image.Name, prev.Base, prev.End)
+			}
+		}
+		for j := 0; j < i; j++ {
+			prev := &img.Sections[j]
+			if prev.Addr == 0 || prev.Size() == 0 || sec.Size() == 0 {
+				continue
+			}
+			if sec.Addr < prev.Addr+prev.Size() && prev.Addr < end {
+				return nil, fmt.Errorf("loader: image %s: pinned sections %s and %s overlap",
+					img.Name, prev.Name, sec.Name)
+			}
+		}
+	}
+	for i := range img.Sections {
+		if img.Sections[i].Addr != 0 {
+			continue
+		}
 		li.SectionBases[i] = addr
 		addr += align(img.Sections[i].Size())
 	}
-	li.End = addr
+	if addr > hi {
+		hi = addr
+	}
+	li.Base = lo
+	li.End = hi
 	if !root {
-		m.libNext = addr
+		m.libNext = align(hi)
 	}
 
 	m.loaded[img.Name] = li

@@ -1,0 +1,31 @@
+package loader
+
+import (
+	"repro/internal/isa"
+
+	// Register the text frontend alongside the ELF frontend (which
+	// internal/image registers itself), so Open's auto-detection
+	// always sees both.
+	_ "repro/internal/asm"
+
+	"repro/internal/image"
+)
+
+// Open is the format-agnostic load entry point: it sniffs data's
+// format against the registered frontends (ELF magic, then the text
+// heuristic), decodes it into an image named name, and maps the
+// result exactly as Load would. Decode failures wrap image.ErrBadImage
+// for structural problems (malformed ELF, out-of-subset machine code,
+// unrecognizable bytes); text-frontend compile diagnostics come back
+// unwrapped.
+//
+// Load remains the pre-decoded entry point behind Open; callers that
+// already hold an *image.Image (or cache decodes) keep using it, and
+// the two are behavior-identical for any image Open would produce.
+func (m *Map) Open(cpu *isa.CPU, name string, data []byte, env *Env) (*Loaded, error) {
+	img, err := image.Decode(name, data)
+	if err != nil {
+		return nil, err
+	}
+	return m.Load(cpu, img, env)
+}

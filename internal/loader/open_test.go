@@ -1,0 +1,131 @@
+package loader
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/image"
+	"repro/internal/isa"
+)
+
+// TestOpenAutoDetectsText proves Open's sniffing chain picks the text
+// frontend for assembly source and the result is identical to the
+// pre-decoded Load path.
+func TestOpenAutoDetectsText(t *testing.T) {
+	src := []byte(`
+.entry _start
+.text
+_start:
+    mov ebx, msg
+    hlt
+.data
+msg: .asciz "hello"
+`)
+	cpu, _ := newCPUWithShadow()
+	li, err := NewMap().Open(cpu, "/bin/demo", src, &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if li.Base != ExecBase {
+		t.Errorf("base = %#x", li.Base)
+	}
+	if got := cpu.Mem.CString(mustSym(t, li, "msg")); got != "hello" {
+		t.Errorf("mapped string = %q", got)
+	}
+}
+
+// TestOpenRejectsUnknownBytes pins the typed failure for bytes no
+// frontend recognizes (NULs exclude the text heuristic, no ELF magic).
+func TestOpenRejectsUnknownBytes(t *testing.T) {
+	cpu, _ := newCPUWithShadow()
+	_, err := NewMap().Open(cpu, "/bin/junk", []byte{0x00, 0x01, 0x02, 0x03}, &Env{})
+	if !errors.Is(err, image.ErrBadImage) {
+		t.Fatalf("want ErrBadImage, got %v", err)
+	}
+}
+
+// pinnedImage builds an image with one auto-laid text section and one
+// data section pinned at addr.
+func pinnedImage(name string, addr uint32) *image.Image {
+	im := image.New(name)
+	im.Entry = "_start"
+	im.Sections = []image.Section{
+		{Name: ".text", Kind: image.Text, Instrs: []isa.Instr{{Op: isa.HLT}}},
+		{Name: ".data", Kind: image.Data, Data: []byte("pinned"), Addr: addr},
+	}
+	im.Symbols["_start"] = image.Symbol{Section: 0, Offset: 0}
+	im.Symbols["d"] = image.Symbol{Section: 1, Offset: 0}
+	return im
+}
+
+// TestPinnedSectionLayout proves a pinned section lands exactly at its
+// link address and the auto-layout cursor is placed past it, so
+// translated text never collides with pinned data.
+func TestPinnedSectionLayout(t *testing.T) {
+	const pin = ExecBase + 0x5000
+	cpu, _ := newCPUWithShadow()
+	li, err := NewMap().Load(cpu, pinnedImage("/bin/pin", pin), &Env{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := li.SectionBases[1]; got != pin {
+		t.Errorf("pinned section at %#x, want %#x", got, pin)
+	}
+	if got := cpu.Mem.CString(pin); got != "pinned" {
+		t.Errorf("bytes at pin = %q", got)
+	}
+	// Text was auto-laid inside the image's range without touching the
+	// pinned range.
+	text := li.SectionBases[0]
+	if text >= pin && text < pin+6 {
+		t.Errorf("text at %#x overlaps pinned data", text)
+	}
+	if li.End <= pin {
+		t.Errorf("image end %#x does not cover pinned section", li.End)
+	}
+}
+
+// TestPinnedOverlapRejected proves two images whose pinned ranges
+// collide fail as a typed load error, not a memory stomp.
+func TestPinnedOverlapRejected(t *testing.T) {
+	const pin = ExecBase + 0x5000
+	cpu, _ := newCPUWithShadow()
+	m := NewMap()
+	if _, err := m.Load(cpu, pinnedImage("/bin/a", pin), &Env{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Load(cpu, pinnedImage("/bin/b", pin), &Env{})
+	if err == nil {
+		t.Fatal("overlapping pinned sections accepted")
+	}
+	if !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("error does not cite the overlap: %v", err)
+	}
+}
+
+// TestPinnedIntraImageOverlapRejected proves two pinned sections of
+// one image that collide with each other are rejected at load.
+func TestPinnedIntraImageOverlapRejected(t *testing.T) {
+	im := image.New("/bin/self")
+	im.Entry = "_start"
+	im.Sections = []image.Section{
+		{Name: ".text", Kind: image.Text, Instrs: []isa.Instr{{Op: isa.HLT}}},
+		{Name: ".data", Kind: image.Data, Data: make([]byte, 16), Addr: ExecBase + 0x3000},
+		{Name: ".data2", Kind: image.Data, Data: make([]byte, 16), Addr: ExecBase + 0x3008},
+	}
+	im.Symbols["_start"] = image.Symbol{Section: 0, Offset: 0}
+	cpu, _ := newCPUWithShadow()
+	if _, err := NewMap().Load(cpu, im, &Env{}); err == nil {
+		t.Fatal("self-overlapping pinned sections accepted")
+	}
+}
+
+func mustSym(t *testing.T, li *Loaded, name string) uint32 {
+	t.Helper()
+	a, ok := li.SymbolAddr(name)
+	if !ok {
+		t.Fatalf("symbol %s not found", name)
+	}
+	return a
+}

@@ -28,10 +28,11 @@ import (
 // its single thread while readers (Result consumers, exporters)
 // snapshot chains.
 type Provenance struct {
-	mu      sync.Mutex
-	maxHops int
-	ids     map[string]ProvID
-	traces  []*SourceTrace
+	mu        sync.Mutex
+	maxHops   int
+	ids       map[string]ProvID
+	traces    []*SourceTrace
+	symbolize func(addr uint32) (string, bool)
 }
 
 // ProvID is the stable identifier a taint source receives when it
@@ -210,11 +211,31 @@ func (p *Provenance) Exit(id ProvID, t uint64, pid int32, detail string) {
 	p.record(id, Hop{Kind: HopExit, Time: t, PID: pid, Detail: detail})
 }
 
-// renderHop formats one hop as a chain segment.
-func renderHop(h *Hop) string {
+// SetSymbolizer installs a code-address resolver consulted when
+// rendering block hops: it returns the "image:symbol+0xdelta" frame
+// for a block leader address, or reports false to keep the raw
+// address. A symbolizer changes only how chains render, never what is
+// recorded; with none installed (the default) the output is
+// byte-identical to earlier releases.
+func (p *Provenance) SetSymbolizer(fn func(addr uint32) (string, bool)) {
+	p.mu.Lock()
+	p.symbolize = fn
+	p.mu.Unlock()
+}
+
+// renderHop formats one hop as a chain segment; callers hold p.mu.
+func (p *Provenance) renderHop(h *Hop) string {
 	var b strings.Builder
 	if h.Kind == HopBlock {
-		fmt.Fprintf(&b, "bb 0x%x", h.Addr)
+		if p.symbolize != nil {
+			if frame, ok := p.symbolize(h.Addr); ok {
+				fmt.Fprintf(&b, "bb %s", frame)
+			} else {
+				fmt.Fprintf(&b, "bb 0x%x", h.Addr)
+			}
+		} else {
+			fmt.Fprintf(&b, "bb 0x%x", h.Addr)
+		}
 		switch {
 		case h.Tier && h.Count > 1:
 			fmt.Fprintf(&b, " (tier ×%d)", h.Count)
@@ -234,12 +255,12 @@ func renderHop(h *Hop) string {
 }
 
 // chainLocked renders one trace; callers hold p.mu.
-func chainLocked(tr *SourceTrace) string {
+func (p *Provenance) chainLocked(tr *SourceTrace) string {
 	var b strings.Builder
 	b.WriteString(tr.Label)
 	for i := range tr.Hops {
 		b.WriteString(" → ")
-		b.WriteString(renderHop(&tr.Hops[i]))
+		b.WriteString(p.renderHop(&tr.Hops[i]))
 	}
 	if tr.Dropped > 0 {
 		fmt.Fprintf(&b, " [+%d hops elided]", tr.Dropped)
@@ -254,7 +275,7 @@ func (p *Provenance) Chain(id ProvID) string {
 	if int(id) >= len(p.traces) {
 		return ""
 	}
-	return chainLocked(p.traces[id])
+	return p.chainLocked(p.traces[id])
 }
 
 // ChainOf renders the chain for a source label, reporting whether the
@@ -266,7 +287,7 @@ func (p *Provenance) ChainOf(label string) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	return chainLocked(p.traces[id]), true
+	return p.chainLocked(p.traces[id]), true
 }
 
 // Traces returns an independent copy of every source trace, in ID
@@ -289,7 +310,7 @@ func (p *Provenance) Chains() []string {
 	defer p.mu.Unlock()
 	out := make([]string, len(p.traces))
 	for i, tr := range p.traces {
-		out[i] = chainLocked(tr)
+		out[i] = p.chainLocked(tr)
 	}
 	return out
 }

@@ -52,6 +52,22 @@ func (fs *FS) Install(path string, img *image.Image) *File {
 	return f
 }
 
+// InstallBinary places an executable at path from its raw bytes,
+// decoding them through the registered format frontends (ELF sniffed
+// by magic, assembly text as the fallback). The bytes stay on the
+// file, so guests can read the binary back. Decode failures are
+// returned unchanged: structural ones wrap image.ErrBadImage, text
+// compile diagnostics come back as-is.
+func (fs *FS) InstallBinary(path string, data []byte) (*File, error) {
+	img, err := image.Decode(path, data)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{Path: path, Data: append([]byte(nil), data...), Image: img}
+	fs.files[path] = f
+	return f, nil
+}
+
 // Lookup finds a file by path.
 func (fs *FS) Lookup(path string) (*File, bool) {
 	f, ok := fs.files[path]

@@ -3,6 +3,7 @@ package vos
 import (
 	"strings"
 
+	"repro/internal/image"
 	"repro/internal/isa"
 	"repro/internal/loader"
 	"repro/internal/taint"
@@ -660,13 +661,19 @@ func (k *kernel) sysExecve(p *Process, args [5]uint32) {
 		return
 	}
 	if f.Image == nil {
-		// The paper's Tic-Tac-Toe trojan hits exactly this: the
-		// written payload is not in an executable format, so the
+		// A plain file gets one chance to decode through the format
+		// frontends (a dropped real ELF payload execs for real). The
+		// paper's Tic-Tac-Toe trojan lands in the failure branch: its
+		// written payload is not in any executable format, so the
 		// execve itself fails — after the warning fired (§8.4.3).
-		ret(p, errno(ENOEXEC))
-		sc.Result = errno(ENOEXEC)
-		p.notifyExit(sc)
-		return
+		img, derr := image.Decode(path, f.Data)
+		if derr != nil || !img.HasEntry() {
+			ret(p, errno(ENOEXEC))
+			sc.Result = errno(ENOEXEC)
+			p.notifyExit(sc)
+			return
+		}
+		f.Image = img
 	}
 	argv := p.readStringArray(argvPtr)
 	if len(argv) == 0 {

@@ -215,7 +215,7 @@ func (os *OS) StartProcess(spec ProcSpec) (*Process, error) {
 	if !ok {
 		return nil, fmt.Errorf("vos: %s: no such file", spec.Path)
 	}
-	if f.Image == nil {
+	if f.Image == nil && len(f.Data) == 0 {
 		return nil, fmt.Errorf("vos: %s: not an executable", spec.Path)
 	}
 	argv := spec.Argv
@@ -260,9 +260,22 @@ func (os *OS) StartProcess(spec ProcSpec) (*Process, error) {
 }
 
 // loadInto loads the executable file (and its imports) into p and
-// points EIP at the entry.
+// points EIP at the entry. Pre-decoded files (Install/InstallBinary)
+// map directly; a plain file's bytes go through the format-agnostic
+// loader.Open (magic sniffing over the registered frontends) and the
+// decode is cached on the file — this is what lets a guest drop a
+// real ELF payload and exec it.
 func (os *OS) loadInto(p *Process, f *File) error {
-	li, err := p.Images.Load(p.CPU, f.Image, os.loaderEnv())
+	var li *loader.Loaded
+	var err error
+	if f.Image != nil {
+		li, err = p.Images.Load(p.CPU, f.Image, os.loaderEnv())
+	} else {
+		li, err = p.Images.Open(p.CPU, f.Path, f.Data, os.loaderEnv())
+		if err == nil {
+			f.Image = li.Image
+		}
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,615 @@
+// Package x86 translates a practical subset of i386 machine code —
+// the mov/alu/push/pop/jcc/call/ret/int-0x80 repertoire that
+// `as --32` + `ld -m elf_i386` emit for hand-written system programs —
+// into the fixed-width internal ISA of internal/isa. The ELF frontend
+// (internal/image) feeds it executable section bytes; the result runs
+// under the full three-tier monitor exactly like assembler-produced
+// code.
+//
+// Translation is static and total over the accepted subset: every
+// byte of the section must decode, and every direct branch target
+// must land on an instruction boundary. Anything outside the subset
+// (prefixes, 16-bit operands, unsigned conditions, scaled-index
+// addressing, indirect branches through link-time code addresses) is
+// a typed *Error naming the offset and the offending byte — malformed
+// or adversarial text fails the load cleanly, never at run time.
+//
+// Because one i386 instruction may expand to several internal
+// instructions, translated code cannot keep its link-time addresses:
+// direct branch targets are rewritten to internal instruction
+// indices (scaled by isa.InstrSize) and reported in
+// Translation.Branches so the loader can rebase them, while data
+// references keep their absolute link-time addresses (the frontend
+// maps data sections at their ELF virtual addresses).
+package x86
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Error is a decode or translation failure at a code offset.
+type Error struct {
+	Off int    // byte offset into the translated section
+	Msg string // what was unsupported or malformed
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("x86: offset %#x: %s", e.Off, e.Msg)
+}
+
+// Translation is the result of translating one executable section.
+type Translation struct {
+	// Instrs is the internal-ISA program; instruction i will sit at
+	// sectionBase + i*isa.InstrSize once mapped.
+	Instrs []isa.Instr
+	// InstrIndex maps each byte offset of the original section to the
+	// index (into Instrs) of the first internal instruction translated
+	// from the i386 instruction starting there; -1 marks bytes inside
+	// a multi-byte instruction.
+	InstrIndex []int32
+	// Branches lists indices into Instrs whose A operand holds a
+	// direct branch target expressed as an instruction-index offset
+	// (idx*isa.InstrSize) that the loader must rebase by the mapped
+	// section address.
+	Branches []int
+}
+
+// IndexOf resolves a byte offset of the original section to its
+// internal instruction index; ok is false for offsets out of range or
+// inside an instruction.
+func (t *Translation) IndexOf(byteOff uint32) (int, bool) {
+	if byteOff >= uint32(len(t.InstrIndex)) {
+		return 0, false
+	}
+	idx := t.InstrIndex[byteOff]
+	if idx < 0 {
+		return 0, false
+	}
+	return int(idx), true
+}
+
+// Translate decodes the i386 machine code of one executable section
+// linked at vaddr and produces its internal-ISA form.
+func Translate(code []byte, vaddr uint32) (*Translation, error) {
+	t := &Translation{InstrIndex: make([]int32, len(code))}
+	for i := range t.InstrIndex {
+		t.InstrIndex[i] = -1
+	}
+	// Pending direct branches: internal instruction index -> target
+	// expressed as a byte offset into this section (the decoder works
+	// in section offsets), resolved after the full decode pass.
+	type pending struct {
+		src    int // byte offset of the branch instruction
+		instr  int
+		target uint32
+	}
+	var branches []pending
+
+	d := &decoder{code: code}
+	for d.pos < len(code) {
+		d.off = d.pos
+		start := len(t.Instrs)
+		instrs, target, err := d.decodeOne()
+		if err != nil {
+			return nil, err
+		}
+		t.InstrIndex[d.off] = int32(start)
+		t.Instrs = append(t.Instrs, instrs...)
+		if target != nil {
+			// The branch is always the last internal instruction of
+			// its group.
+			branches = append(branches, pending{src: d.off, instr: len(t.Instrs) - 1, target: *target})
+		}
+	}
+	for _, b := range branches {
+		idx, ok := t.IndexOf(b.target)
+		if !ok {
+			return nil, &Error{Off: b.src, Msg: fmt.Sprintf(
+				"branch to %#x: not an instruction boundary of this section", vaddr+b.target)}
+		}
+		t.Instrs[b.instr].A = isa.Imm(uint32(idx) * isa.InstrSize)
+		t.Branches = append(t.Branches, b.instr)
+	}
+	return t, nil
+}
+
+// decoder walks the section byte stream.
+type decoder struct {
+	code []byte
+	off  int // start of the instruction being decoded
+	pos  int // read cursor
+}
+
+func (d *decoder) errf(format string, args ...any) error {
+	return &Error{Off: d.off, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (d *decoder) u8() (byte, error) {
+	if d.pos >= len(d.code) {
+		return 0, d.errf("truncated instruction")
+	}
+	b := d.code[d.pos]
+	d.pos++
+	return b, nil
+}
+
+func (d *decoder) u32() (uint32, error) {
+	if d.pos+4 > len(d.code) {
+		return 0, d.errf("truncated 32-bit operand")
+	}
+	v := uint32(d.code[d.pos]) | uint32(d.code[d.pos+1])<<8 |
+		uint32(d.code[d.pos+2])<<16 | uint32(d.code[d.pos+3])<<24
+	d.pos += 4
+	return v, nil
+}
+
+// s8imm reads an 8-bit immediate sign-extended to 32 bits.
+func (d *decoder) s8imm() (uint32, error) {
+	b, err := d.u8()
+	return uint32(int32(int8(b))), err
+}
+
+// modRM decodes a ModR/M byte (plus SIB and displacement) into the
+// register field and the r/m operand. Scaled-index addressing is
+// outside the subset.
+func (d *decoder) modRM() (reg int, rm isa.Operand, err error) {
+	b, err := d.u8()
+	if err != nil {
+		return 0, rm, err
+	}
+	mod := b >> 6
+	reg = int(b>>3) & 7
+	rmBits := b & 7
+	if mod == 3 {
+		return reg, isa.R(isa.Reg(rmBits)), nil
+	}
+	base := isa.Reg(rmBits)
+	hasBase := true
+	if rmBits == 4 { // SIB follows
+		sib, err := d.u8()
+		if err != nil {
+			return 0, rm, err
+		}
+		if idx := (sib >> 3) & 7; idx != 4 {
+			return 0, rm, d.errf("scaled-index addressing (SIB index %d) unsupported", idx)
+		}
+		base = isa.Reg(sib & 7)
+		if base == isa.EBP && mod == 0 { // [disp32], no base
+			hasBase = false
+		}
+	} else if rmBits == 5 && mod == 0 { // [disp32]
+		hasBase = false
+	}
+	var disp uint32
+	switch {
+	case mod == 1:
+		if disp, err = d.s8imm(); err != nil {
+			return 0, rm, err
+		}
+	case mod == 2 || !hasBase:
+		if disp, err = d.u32(); err != nil {
+			return 0, rm, err
+		}
+	}
+	if hasBase {
+		return reg, isa.MemBase(base, disp), nil
+	}
+	return reg, isa.Mem(disp), nil
+}
+
+// relTarget reads a relative displacement (8- or 32-bit) and returns
+// the target as a byte offset into the section: next-instruction
+// offset + rel (arithmetic wraps, matching the hardware).
+func (d *decoder) relTarget(wide bool) (uint32, error) {
+	var rel uint32
+	var err error
+	if wide {
+		rel, err = d.u32()
+	} else {
+		rel, err = d.s8imm()
+	}
+	if err != nil {
+		return 0, err
+	}
+	return uint32(d.pos) + rel, nil
+}
+
+// byteReg validates an 8-bit register encoding: only AL/CL/DL/BL
+// (the low bytes of EAX..EBX, which MOVB models) are in the subset;
+// AH/CH/DH/BH are not.
+func (d *decoder) byteReg(n int) (isa.Operand, error) {
+	if n >= 4 {
+		return isa.Operand{}, d.errf("high 8-bit register encoding %d (ah/ch/dh/bh) unsupported", n)
+	}
+	return isa.R(isa.Reg(n)), nil
+}
+
+// one wraps a single translated instruction.
+func one(op isa.Op, a, b isa.Operand) []isa.Instr {
+	return []isa.Instr{{Op: op, A: a, B: b}}
+}
+
+// jccOps maps the supported i386 condition nibble to the internal
+// conditional jump. Only the signed conditions exist internally; the
+// unsigned ones (ja/jb/...) and the flag tests (jo/js/jp/...) are
+// outside the subset.
+var jccOps = map[byte]isa.Op{
+	0x4: isa.JZ,  // je
+	0x5: isa.JNZ, // jne
+	0xC: isa.JL,  // jl
+	0xD: isa.JGE, // jge
+	0xE: isa.JLE, // jle
+	0xF: isa.JG,  // jg
+}
+
+// grp1Ops maps the 0x81/0x83 group-1 register-field encoding to the
+// internal ALU op (adc/sbb, fields 2 and 3, are outside the subset).
+var grp1Ops = map[int]isa.Op{
+	0: isa.ADD, 1: isa.OR, 4: isa.AND, 5: isa.SUB, 6: isa.XOR, 7: isa.CMP,
+}
+
+// decodeOne decodes the instruction at d.off, returning its internal
+// translation and, for direct branches, the i386 target address
+// (section-relative origin; see relTarget).
+func (d *decoder) decodeOne() ([]isa.Instr, *uint32, error) {
+	op, err := d.u8()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case op == 0x0F:
+		return d.decodeTwoByte()
+
+	// ALU r/m32,r32 | r32,r/m32 | eax,imm32 blocks.
+	case op == 0x01 || op == 0x03 || op == 0x05:
+		return d.alu(isa.ADD, op&7)
+	case op == 0x09 || op == 0x0B || op == 0x0D:
+		return d.alu(isa.OR, op&7)
+	case op == 0x21 || op == 0x23 || op == 0x25:
+		return d.alu(isa.AND, op&7)
+	case op == 0x29 || op == 0x2B || op == 0x2D:
+		return d.alu(isa.SUB, op&7)
+	case op == 0x31 || op == 0x33 || op == 0x35:
+		return d.alu(isa.XOR, op&7)
+	case op == 0x39 || op == 0x3B || op == 0x3D:
+		return d.alu(isa.CMP, op&7)
+
+	case op >= 0x40 && op <= 0x47:
+		return one(isa.INC, isa.R(isa.Reg(op-0x40)), isa.Operand{}), nil, nil
+	case op >= 0x48 && op <= 0x4F:
+		return one(isa.DEC, isa.R(isa.Reg(op-0x48)), isa.Operand{}), nil, nil
+	case op >= 0x50 && op <= 0x57:
+		return one(isa.PUSH, isa.R(isa.Reg(op-0x50)), isa.Operand{}), nil, nil
+	case op >= 0x58 && op <= 0x5F:
+		return one(isa.POP, isa.R(isa.Reg(op-0x58)), isa.Operand{}), nil, nil
+
+	case op == 0x68: // push imm32
+		v, err := d.u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.PUSH, isa.Imm(v), isa.Operand{}), nil, nil
+	case op == 0x6A: // push imm8 (sign-extended)
+		v, err := d.s8imm()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.PUSH, isa.Imm(v), isa.Operand{}), nil, nil
+
+	case op >= 0x70 && op <= 0x7F: // jcc rel8
+		jop, ok := jccOps[op&0xF]
+		if !ok {
+			return nil, nil, d.errf("condition %#x unsupported (unsigned/flag conditions outside subset)", op&0xF)
+		}
+		target, err := d.relTarget(false)
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(jop, isa.Imm(0), isa.Operand{}), &target, nil
+
+	case op == 0x81 || op == 0x83: // grp1 r/m32, imm
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return nil, nil, err
+		}
+		aop, ok := grp1Ops[reg]
+		if !ok {
+			return nil, nil, d.errf("group-1 op /%d (adc/sbb) unsupported", reg)
+		}
+		var v uint32
+		if op == 0x81 {
+			v, err = d.u32()
+		} else {
+			v, err = d.s8imm()
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(aop, rm, isa.Imm(v)), nil, nil
+
+	case op == 0x85: // test r/m32, r32
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.TEST, rm, isa.R(isa.Reg(reg))), nil, nil
+
+	case op == 0x88 || op == 0x8A: // mov r/m8, r8 | r8, r/m8
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return nil, nil, err
+		}
+		rop, err := d.byteReg(reg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if rm.Kind == isa.RegOperand {
+			if rm, err = d.byteReg(int(rm.Reg)); err != nil {
+				return nil, nil, err
+			}
+		}
+		if op == 0x88 {
+			return one(isa.MOVB, rm, rop), nil, nil
+		}
+		return one(isa.MOVB, rop, rm), nil, nil
+	case op == 0x89: // mov r/m32, r32
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.MOV, rm, isa.R(isa.Reg(reg))), nil, nil
+	case op == 0x8B: // mov r32, r/m32
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.MOV, isa.R(isa.Reg(reg)), rm), nil, nil
+
+	case op == 0x8D: // lea r32, m
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return nil, nil, err
+		}
+		if rm.Kind != isa.MemOperand {
+			return nil, nil, d.errf("lea with register source")
+		}
+		return one(isa.LEA, isa.R(isa.Reg(reg)), rm), nil, nil
+
+	case op == 0x90:
+		return one(isa.NOP, isa.Operand{}, isa.Operand{}), nil, nil
+
+	case op == 0xA1: // mov eax, moffs32
+		a, err := d.u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.MOV, isa.R(isa.EAX), isa.Mem(a)), nil, nil
+	case op == 0xA3: // mov moffs32, eax
+		a, err := d.u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.MOV, isa.Mem(a), isa.R(isa.EAX)), nil, nil
+
+	case op >= 0xB8 && op <= 0xBF: // mov r32, imm32
+		v, err := d.u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.MOV, isa.R(isa.Reg(op-0xB8)), isa.Imm(v)), nil, nil
+	case op >= 0xB0 && op <= 0xB3: // mov r8, imm8 (al/cl/dl/bl)
+		v, err := d.u8()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.MOVB, isa.R(isa.Reg(op-0xB0)), isa.Imm(uint32(v))), nil, nil
+
+	case op == 0xC1 || op == 0xD1: // grp2 shifts
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return nil, nil, err
+		}
+		var sop isa.Op
+		switch reg {
+		case 4:
+			sop = isa.SHL
+		case 5:
+			sop = isa.SHR
+		default:
+			return nil, nil, d.errf("shift-group op /%d unsupported", reg)
+		}
+		count := uint32(1)
+		if op == 0xC1 {
+			b, err := d.u8()
+			if err != nil {
+				return nil, nil, err
+			}
+			count = uint32(b)
+		}
+		return one(sop, rm, isa.Imm(count)), nil, nil
+
+	case op == 0xC3:
+		return one(isa.RET, isa.Operand{}, isa.Operand{}), nil, nil
+
+	case op == 0xC6 || op == 0xC7: // mov r/m, imm
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return nil, nil, err
+		}
+		if reg != 0 {
+			return nil, nil, d.errf("mov-immediate group op /%d unsupported", reg)
+		}
+		if op == 0xC6 {
+			b, err := d.u8()
+			if err != nil {
+				return nil, nil, err
+			}
+			if rm.Kind == isa.RegOperand {
+				if rm, err = d.byteReg(int(rm.Reg)); err != nil {
+					return nil, nil, err
+				}
+			}
+			return one(isa.MOVB, rm, isa.Imm(uint32(b))), nil, nil
+		}
+		v, err := d.u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.MOV, rm, isa.Imm(v)), nil, nil
+
+	case op == 0xC9: // leave
+		return []isa.Instr{
+			{Op: isa.MOV, A: isa.R(isa.ESP), B: isa.R(isa.EBP)},
+			{Op: isa.POP, A: isa.R(isa.EBP)},
+		}, nil, nil
+
+	case op == 0xCD: // int imm8
+		v, err := d.u8()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.INT, isa.Imm(uint32(v)), isa.Operand{}), nil, nil
+
+	case op == 0xE8: // call rel32
+		target, err := d.relTarget(true)
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.CALL, isa.Imm(0), isa.Operand{}), &target, nil
+	case op == 0xE9: // jmp rel32
+		target, err := d.relTarget(true)
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.JMP, isa.Imm(0), isa.Operand{}), &target, nil
+	case op == 0xEB: // jmp rel8
+		target, err := d.relTarget(false)
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.JMP, isa.Imm(0), isa.Operand{}), &target, nil
+
+	case op == 0xF4:
+		return one(isa.HLT, isa.Operand{}, isa.Operand{}), nil, nil
+
+	case op == 0xF7: // grp3
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch reg {
+		case 2:
+			return one(isa.NOT, rm, isa.Operand{}), nil, nil
+		case 3:
+			return one(isa.NEG, rm, isa.Operand{}), nil, nil
+		}
+		return nil, nil, d.errf("group-3 op /%d (test/mul/div forms) unsupported", reg)
+
+	case op == 0xFF: // grp5
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return nil, nil, err
+		}
+		switch reg {
+		case 0:
+			return one(isa.INC, rm, isa.Operand{}), nil, nil
+		case 1:
+			return one(isa.DEC, rm, isa.Operand{}), nil, nil
+		case 6:
+			return one(isa.PUSH, rm, isa.Operand{}), nil, nil
+		case 2, 4:
+			// An indirect branch target is a link-time code address
+			// computed at run time; translated code lives at different
+			// addresses, so the jump cannot be rebased statically.
+			return nil, nil, d.errf("indirect branch through r/m operand unsupported (translated code is relocated)")
+		}
+		return nil, nil, d.errf("group-5 op /%d unsupported", reg)
+
+	case op == 0x66 || op == 0x67 || op == 0xF0 || op == 0xF2 || op == 0xF3 ||
+		op == 0x2E || op == 0x36 || op == 0x3E || op == 0x26 || op == 0x64 || op == 0x65:
+		return nil, nil, d.errf("prefix %#02x unsupported (16-bit/segment/rep forms outside subset)", op)
+	}
+	return nil, nil, d.errf("opcode %#02x unsupported", op)
+}
+
+// alu decodes one of the three encodings every classic ALU op shares:
+// low3 == 1 (r/m32,r32), 3 (r32,r/m32), 5 (eax,imm32).
+func (d *decoder) alu(aop isa.Op, low3 byte) ([]isa.Instr, *uint32, error) {
+	switch low3 {
+	case 1:
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(aop, rm, isa.R(isa.Reg(reg))), nil, nil
+	case 3:
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(aop, isa.R(isa.Reg(reg)), rm), nil, nil
+	default: // 5
+		v, err := d.u32()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(aop, isa.R(isa.EAX), isa.Imm(v)), nil, nil
+	}
+}
+
+// decodeTwoByte handles the 0x0F escape opcodes in the subset.
+func (d *decoder) decodeTwoByte() ([]isa.Instr, *uint32, error) {
+	op, err := d.u8()
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case op == 0x1F: // multi-byte nop (nop r/m32)
+		if _, _, err := d.modRM(); err != nil {
+			return nil, nil, err
+		}
+		return one(isa.NOP, isa.Operand{}, isa.Operand{}), nil, nil
+	case op == 0x31:
+		return one(isa.RDTSC, isa.Operand{}, isa.Operand{}), nil, nil
+	case op == 0xA2:
+		return one(isa.CPUID, isa.Operand{}, isa.Operand{}), nil, nil
+	case op >= 0x80 && op <= 0x8F: // jcc rel32
+		jop, ok := jccOps[op&0xF]
+		if !ok {
+			return nil, nil, d.errf("condition %#x unsupported (unsigned/flag conditions outside subset)", op&0xF)
+		}
+		target, err := d.relTarget(true)
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(jop, isa.Imm(0), isa.Operand{}), &target, nil
+	case op == 0xAF: // imul r32, r/m32
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return nil, nil, err
+		}
+		return one(isa.MUL, isa.R(isa.Reg(reg)), rm), nil, nil
+	case op == 0xB6: // movzx r32, r/m8
+		reg, rm, err := d.modRM()
+		if err != nil {
+			return nil, nil, err
+		}
+		if rm.Kind == isa.RegOperand {
+			if rm, err = d.byteReg(int(rm.Reg)); err != nil {
+				return nil, nil, err
+			}
+		}
+		// MOVB writes the low byte preserving the rest, so zero-extend
+		// by masking afterwards (the mask also works when rm's base
+		// register is the destination). Flags diverge from movzx,
+		// which preserves them; the subset tolerates that.
+		dst := isa.R(isa.Reg(reg))
+		return []isa.Instr{
+			{Op: isa.MOVB, A: dst, B: rm},
+			{Op: isa.AND, A: dst, B: isa.Imm(0xFF)},
+		}, nil, nil
+	}
+	return nil, nil, d.errf("two-byte opcode 0f %#02x unsupported", op)
+}

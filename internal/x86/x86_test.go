@@ -1,0 +1,171 @@
+package x86
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// tr translates code and fails the test on error.
+func tr(t *testing.T, code ...byte) *Translation {
+	t.Helper()
+	out, err := Translate(code, 0x8049000)
+	if err != nil {
+		t.Fatalf("Translate: %v", err)
+	}
+	return out
+}
+
+func TestBasicForms(t *testing.T) {
+	// mov eax, 5 ; mov [0x804a000], eax ; int 0x80 ; ret
+	out := tr(t,
+		0xB8, 5, 0, 0, 0,
+		0xA3, 0x00, 0xA0, 0x04, 0x08,
+		0xCD, 0x80,
+		0xC3,
+	)
+	want := []isa.Instr{
+		{Op: isa.MOV, A: isa.R(isa.EAX), B: isa.Imm(5)},
+		{Op: isa.MOV, A: isa.Mem(0x0804A000), B: isa.R(isa.EAX)},
+		{Op: isa.INT, A: isa.Imm(0x80)},
+		{Op: isa.RET},
+	}
+	if len(out.Instrs) != len(want) {
+		t.Fatalf("got %d instrs, want %d", len(out.Instrs), len(want))
+	}
+	for i := range want {
+		if out.Instrs[i].Op != want[i].Op || out.Instrs[i].A != want[i].A || out.Instrs[i].B != want[i].B {
+			t.Errorf("instr %d: got %+v, want %+v", i, out.Instrs[i], want[i])
+		}
+	}
+	if len(out.Branches) != 0 {
+		t.Errorf("no branches expected, got %v", out.Branches)
+	}
+}
+
+func TestModRMAddressing(t *testing.T) {
+	// mov ecx, [0x804a010]      (8B 0D disp32: mod=0 rm=5)
+	// mov edx, [ebp-8]          (8B 55 F8: mod=1 disp8)
+	// mov [ebx+0x100], eax      (89 83 disp32: mod=2)
+	out := tr(t,
+		0x8B, 0x0D, 0x10, 0xA0, 0x04, 0x08,
+		0x8B, 0x55, 0xF8,
+		0x89, 0x83, 0x00, 0x01, 0x00, 0x00,
+	)
+	want := []isa.Instr{
+		{Op: isa.MOV, A: isa.R(isa.ECX), B: isa.Mem(0x0804A010)},
+		{Op: isa.MOV, A: isa.R(isa.EDX), B: isa.MemBase(isa.EBP, 0xFFFFFFF8)},
+		{Op: isa.MOV, A: isa.MemBase(isa.EBX, 0x100), B: isa.R(isa.EAX)},
+	}
+	for i := range want {
+		if out.Instrs[i] != (isa.Instr{Op: want[i].Op, A: want[i].A, B: want[i].B}) {
+			t.Errorf("instr %d: got %+v, want %+v", i, out.Instrs[i], want[i])
+		}
+	}
+}
+
+func TestBranchFixup(t *testing.T) {
+	// 0: xor eax, eax   (31 C0)
+	// 2: jz +3 -> 7     (74 03)
+	// 4: mov ebx, eax   (89 C3) -- wait, 2 bytes; then jmp back
+	// 6: eb f8 jmp -8 -> 0
+	out := tr(t,
+		0x31, 0xC0, // xor eax,eax      -> instr 0
+		0x74, 0x04, // jz  -> offset 8  -> instr 3
+		0x89, 0xC3, // mov ebx,eax      -> instr 2
+		0xEB, 0xF8, // jmp -> offset 0  -> instr 0
+		0x90, //       nop, offset 8    -> instr 4
+	)
+	if len(out.Branches) != 2 {
+		t.Fatalf("want 2 branches, got %v", out.Branches)
+	}
+	jz := out.Instrs[1]
+	if jz.Op != isa.JZ || jz.A != isa.Imm(4*isa.InstrSize) {
+		t.Errorf("jz: got %+v, want target index 4", jz)
+	}
+	jmp := out.Instrs[3]
+	if jmp.Op != isa.JMP || jmp.A != isa.Imm(0) {
+		t.Errorf("jmp: got %+v, want target index 0", jmp)
+	}
+}
+
+func TestBranchIntoInstruction(t *testing.T) {
+	// jmp into the middle of the mov's immediate.
+	_, err := Translate([]byte{
+		0xEB, 0x01, // jmp -> offset 3 (inside next instr)
+		0xB8, 1, 0, 0, 0, // mov eax, 1 at offset 2..6
+	}, 0)
+	var xe *Error
+	if !errors.As(err, &xe) {
+		t.Fatalf("want *Error, got %v", err)
+	}
+	if !strings.Contains(xe.Msg, "boundary") {
+		t.Errorf("error does not cite instruction boundary: %v", xe)
+	}
+}
+
+func TestMultiInstructionExpansion(t *testing.T) {
+	// leave ; movzx eax, cl
+	out := tr(t, 0xC9, 0x0F, 0xB6, 0xC1)
+	want := []isa.Instr{
+		{Op: isa.MOV, A: isa.R(isa.ESP), B: isa.R(isa.EBP)},
+		{Op: isa.POP, A: isa.R(isa.EBP)},
+		{Op: isa.MOVB, A: isa.R(isa.EAX), B: isa.R(isa.ECX)},
+		{Op: isa.AND, A: isa.R(isa.EAX), B: isa.Imm(0xFF)},
+	}
+	for i := range want {
+		if out.Instrs[i] != (isa.Instr{Op: want[i].Op, A: want[i].A, B: want[i].B}) {
+			t.Errorf("instr %d: got %+v, want %+v", i, out.Instrs[i], want[i])
+		}
+	}
+	// IndexOf: offset 0 -> 0, offset 1 -> 2, inside movzx -> none.
+	if idx, ok := out.IndexOf(1); !ok || idx != 2 {
+		t.Errorf("IndexOf(1) = %d,%v; want 2,true", idx, ok)
+	}
+	if _, ok := out.IndexOf(2); ok {
+		t.Error("IndexOf(2) resolved inside an instruction")
+	}
+}
+
+func TestOutOfSubset(t *testing.T) {
+	cases := []struct {
+		name string
+		code []byte
+		msg  string
+	}{
+		{"prefix-66", []byte{0x66, 0xB8, 1, 0}, "prefix"},
+		{"rep", []byte{0xF3, 0xA4}, "prefix"},
+		{"unsigned-jcc", []byte{0x72, 0x00}, "condition"},
+		{"sib-scaled", []byte{0x8B, 0x04, 0x88}, "scaled-index"},
+		{"high-byte-reg", []byte{0x88, 0xE0}, "ah/ch/dh/bh"},
+		{"indirect-call", []byte{0xFF, 0xD0}, "indirect branch"},
+		{"truncated-imm", []byte{0xB8, 1, 0}, "truncated"},
+		{"unknown-op", []byte{0xD8}, "unsupported"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Translate(tc.code, 0)
+			var xe *Error
+			if !errors.As(err, &xe) {
+				t.Fatalf("want *Error, got %v", err)
+			}
+			if !strings.Contains(xe.Msg, tc.msg) {
+				t.Errorf("error %q does not mention %q", xe.Msg, tc.msg)
+			}
+		})
+	}
+}
+
+func TestErrorCitesOffset(t *testing.T) {
+	// Valid instruction, then garbage at offset 5.
+	_, err := Translate([]byte{0xB8, 1, 0, 0, 0, 0xD8}, 0)
+	var xe *Error
+	if !errors.As(err, &xe) {
+		t.Fatalf("want *Error, got %v", err)
+	}
+	if xe.Off != 5 {
+		t.Errorf("error offset %#x, want 0x5", xe.Off)
+	}
+}

@@ -147,6 +147,18 @@ func WithProvenance() Option {
 	return func(c *Config) { c.Provenance = true }
 }
 
+// WithSymbolizedChains enables provenance tracing (as WithProvenance)
+// and renders block hops symbolically when the owning image carries
+// symbols: "bb /bin/suspect:_start+0x8" instead of "bb 0x8048008".
+// Addresses no symbol covers keep the raw form. Purely presentational:
+// what is recorded and detected is bit-identical either way.
+func WithSymbolizedChains() Option {
+	return func(c *Config) {
+		c.Provenance = true
+		c.Symbolize = true
+	}
+}
+
 // WithFlightRecorder arms the flight recorder: a fixed-size ring
 // holding the run's last n events (n <= 0 selects the default size)
 // even when no other observer is attached. Read it from Result.Flight.

@@ -88,6 +88,22 @@ func newRunCore(s *System, cfg Config) *runCore {
 			rc.prov = obs.NewProvenance(0)
 			rc.h.SetProvenance(rc.prov)
 			rc.sec.SetChainResolver(rc.h.ProvenanceChains)
+			if cfg.Symbolize {
+				// Resolve block addresses against every live process's
+				// code map at render time, so chains cite
+				// "image:symbol+delta" frames for any image that carries
+				// symbols (ELF symtabs, source labels). Resolution is
+				// read-only (CodeMap.Symbolize never touches the lookup
+				// cache) and a miss falls back to the raw address.
+				rc.prov.SetSymbolizer(func(addr uint32) (string, bool) {
+					for _, p := range os.Processes() {
+						if frame, ok := p.CPU.Code.Symbolize(addr); ok {
+							return frame, true
+						}
+					}
+					return "", false
+				})
+			}
 		}
 	}
 	if rc.intro != nil {

@@ -36,6 +36,10 @@ go test -fuzz=FuzzChaos -fuzztime=10s ./internal/chaos
 # oracle gets a fuzz smoke beyond its checked-in corpus.
 go test -run TestTraceDifferentialSweep -count=1 ./internal/corpus
 go test -fuzz=FuzzTraceApply -fuzztime=10s ./internal/harrier
+# ELF frontend gate: fixture scenarios, symbolized-provenance goldens,
+# decoder/pinned-layout units, the InstallSource equivalence sweep,
+# and a fuzz smoke over the ELF parser (see Makefile `elf`).
+make elf
 # Observability overhead gate: the disabled event bus must stay one
 # nil-check per publish site — no hot-path allocations, no gross
 # throughput regression (see scripts/benchgate.sh).

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/image"
 	"repro/internal/obs"
 	"repro/internal/pool"
 )
@@ -183,6 +184,13 @@ type JobSpec struct {
 	// Programs maps guest paths to assembly source; each is assembled
 	// and installed into the job's private System.
 	Programs map[string]string `json:"programs,omitempty"`
+	// Binaries maps guest paths to raw binary payloads (base64 on the
+	// wire), decoded through the format-agnostic frontend registry —
+	// ELF32 executables land here. A payload no frontend accepts, or a
+	// malformed one (truncated ELF, machine code outside the supported
+	// subset), terminates the job with the typed bad-image error —
+	// HTTP 400 — never a worker crash.
+	Binaries map[string][]byte `json:"binaries,omitempty"`
 	// Files maps guest paths to plain file contents.
 	Files map[string][]byte `json:"files,omitempty"`
 	// Path is the program to execute (required).
@@ -200,6 +208,10 @@ type JobSpec struct {
 	// Provenance requests causal provenance chains on warnings (shed
 	// under load: tier >= ShedProvenance drops it).
 	Provenance bool `json:"provenance,omitempty"`
+	// Symbolize renders provenance block hops as image:symbol+delta
+	// frames when the loaded images carry symbols; it is effective only
+	// while Provenance is granted (and is shed with it).
+	Symbolize bool `json:"symbolize,omitempty"`
 	// FlightPath requests a post-mortem flight dump; the actual file
 	// is "<path>.<jobid>.jsonl.gz" so concurrent jobs never clobber
 	// each other (shed at tier >= ShedFlight).
@@ -225,6 +237,10 @@ const (
 	// JobBadProgram rejects a spec whose program source does not
 	// assemble.
 	JobBadProgram = "bad-program"
+	// JobBadImage rejects a spec whose binary payload is structurally
+	// malformed (unrecognized bytes, truncated ELF, out-of-subset
+	// machine code) — HTTP 400.
+	JobBadImage = "bad-image"
 	// JobGuestFault is a guest-attributable setup failure (missing
 	// or malformed image at exec time).
 	JobGuestFault = "guest-fault"
@@ -533,11 +549,28 @@ func validateSpec(spec *JobSpec) *JobError {
 	if spec.Path == "" {
 		return &JobError{Code: JobBadSpec, Msg: "missing path"}
 	}
-	if len(spec.Programs) == 0 && spec.Setup == nil {
-		return &JobError{Code: JobBadSpec, Msg: "no program source (programs empty and no setup hook)"}
+	if len(spec.Programs) == 0 && len(spec.Binaries) == 0 && spec.Setup == nil {
+		return &JobError{Code: JobBadSpec, Msg: "no program source (programs and binaries empty and no setup hook)"}
 	}
 	if spec.DeadlineMS < 0 {
 		return &JobError{Code: JobBadSpec, Msg: "negative deadline"}
+	}
+	// Binary payloads are decoded up front so a malformed container is
+	// a synchronous typed rejection (HTTP 400) rather than a terminal
+	// job failure discovered on a worker. Only structural failures
+	// (ErrBadImage) reject here; a payload that sniffs as source but
+	// fails to compile stays a bad *program*, reported at execute time
+	// exactly like a Programs entry. The execute-time decode repeats
+	// this work, which is cheap next to a monitored run.
+	bins := make([]string, 0, len(spec.Binaries))
+	for p := range spec.Binaries {
+		bins = append(bins, p)
+	}
+	sort.Strings(bins)
+	for _, p := range bins {
+		if _, err := image.Decode(p, spec.Binaries[p]); err != nil && errors.Is(err, image.ErrBadImage) {
+			return &JobError{Code: JobBadImage, Msg: err.Error()}
+		}
 	}
 	return nil
 }
@@ -663,6 +696,23 @@ func (s *Service) execute(j *job) (*Result, error) {
 			return nil, &JobError{Code: JobBadProgram, Msg: err.Error()}
 		}
 	}
+	bins := make([]string, 0, len(j.spec.Binaries))
+	for p := range j.spec.Binaries {
+		bins = append(bins, p)
+	}
+	sort.Strings(bins)
+	for _, p := range bins {
+		if err := sys.InstallBinary(p, j.spec.Binaries[p]); err != nil {
+			// Structural failures (malformed container) are bad-image;
+			// a payload that decodes as source but fails to compile is a
+			// bad program, same as a Programs entry.
+			code := JobBadProgram
+			if errors.Is(err, image.ErrBadImage) {
+				code = JobBadImage
+			}
+			return nil, &JobError{Code: code, Msg: err.Error()}
+		}
+	}
 	for p, data := range j.spec.Files {
 		sys.CreateFile(p, data)
 	}
@@ -693,6 +743,7 @@ func (s *Service) execute(j *job) (*Result, error) {
 	// Feature mask by admission tier: strictly observability — the
 	// policy engine and monitor semantics are never degraded.
 	cfg.Provenance = j.spec.Provenance && j.shed < ShedProvenance
+	cfg.Symbolize = j.spec.Symbolize && cfg.Provenance
 	if j.spec.FlightPath != "" && j.shed < ShedFlight {
 		cfg.FlightPath = j.spec.FlightPath
 		cfg.JobTag = j.h.id
