@@ -310,6 +310,14 @@ func (s *System) InstallBinary(path string, data []byte) error {
 	return err
 }
 
+// InstallDecodedBinary places a raw binary at path together with an
+// image already decoded from exactly those bytes, skipping the decode
+// InstallBinary would repeat. The service uses it to reuse its
+// submit-time validation decode on every execution attempt.
+func (s *System) InstallDecodedBinary(path string, data []byte, img *image.Image) {
+	s.OS.FS.InstallDecoded(path, data, img)
+}
+
 // MustInstallSource is InstallSource for statically known-good
 // sources; it panics on assembly errors.
 func (s *System) MustInstallSource(path, src string) {

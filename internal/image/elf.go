@@ -41,6 +41,14 @@ const (
 	elfSymSize   = 16 // Elf32_Sym
 	elfMaxHdrs   = 4096
 	elfMaxStrLen = 4096
+
+	// Decoded-size caps over SHF_ALLOC sections. SHT_NOBITS (.bss)
+	// declares memory the file never backs, so sh_size is pure header
+	// data: without a cap a tiny upload can declare gigabytes and OOM
+	// the decoder before any backpressure applies. The caps are far
+	// above anything the reference toolchain emits for this corpus.
+	elfMaxSecSize   = 4 << 20  // one section's in-memory size
+	elfMaxImageSize = 16 << 20 // sum of all SHF_ALLOC section sizes
 )
 
 // ELFMagic is the four identification bytes every ELF object starts
@@ -150,9 +158,12 @@ func ParseELF(data []byte) (*ELF, error) {
 	}
 	f := &ELF{Entry: le.Uint32(data[24:])}
 
-	// Program headers.
-	phoff := int(le.Uint32(data[28:]))
-	phentsize := int(le.Uint16(data[42:]))
+	// Program headers. All offset arithmetic is done in uint64: the
+	// header fields are attacker-controlled uint32s, and int math can
+	// wrap on 32-bit platforms, turning an out-of-bounds offset into a
+	// passing bounds check followed by a slice panic.
+	phoff := uint64(le.Uint32(data[28:]))
+	phentsize := uint64(le.Uint16(data[42:]))
 	phnum := int(le.Uint16(data[44:]))
 	if phnum > 0 {
 		if phentsize < elfPhdrSize {
@@ -162,10 +173,11 @@ func ParseELF(data []byte) (*ELF, error) {
 			return nil, elfErr(44, "implausible program header count %d", phnum)
 		}
 		for i := 0; i < phnum; i++ {
-			off := phoff + i*phentsize
-			if off < 0 || off+elfPhdrSize > len(data) {
-				return nil, elfErr(off, "program header %d out of file bounds", i)
+			off64 := phoff + uint64(i)*phentsize
+			if off64+elfPhdrSize > uint64(len(data)) {
+				return nil, elfErr(int(phoff), "program header %d out of file bounds", i)
 			}
+			off := int(off64)
 			p := ELFProg{
 				Type:   le.Uint32(data[off:]),
 				Off:    le.Uint32(data[off+4:]),
@@ -184,9 +196,9 @@ func ParseELF(data []byte) (*ELF, error) {
 		}
 	}
 
-	// Section headers.
-	shoff := int(le.Uint32(data[32:]))
-	shentsize := int(le.Uint16(data[46:]))
+	// Section headers. Same uint64 offset discipline as above.
+	shoff := uint64(le.Uint32(data[32:]))
+	shentsize := uint64(le.Uint16(data[46:]))
 	shnum := int(le.Uint16(data[48:]))
 	shstrndx := int(le.Uint16(data[50:]))
 	if shnum == 0 {
@@ -203,10 +215,11 @@ func ParseELF(data []byte) (*ELF, error) {
 	}
 	raw := make([]rawShdr, shnum)
 	for i := 0; i < shnum; i++ {
-		off := shoff + i*shentsize
-		if off < 0 || off+elfShdrSize > len(data) {
-			return nil, elfErr(off, "section header %d out of file bounds", i)
+		off64 := shoff + uint64(i)*shentsize
+		if off64+elfShdrSize > uint64(len(data)) {
+			return nil, elfErr(int(shoff), "section header %d out of file bounds", i)
 		}
+		off := int(off64)
 		raw[i] = rawShdr{
 			name:  le.Uint32(data[off:]),
 			typ:   le.Uint32(data[off+4:]),
@@ -225,11 +238,30 @@ func ParseELF(data []byte) (*ELF, error) {
 		return nil, err
 	}
 	f.Sections = make([]ELFSection, shnum)
+	var allocTotal uint64
 	for i := 0; i < shnum; i++ {
 		r := &raw[i]
+		hdrOff := int(shoff + uint64(i)*shentsize)
 		name, err := elfString(shstr, r.name)
 		if err != nil {
-			return nil, elfErr(shoff+i*shentsize, "section %d name: %v", i, err)
+			return nil, elfErr(hdrOff, "section %d name: %v", i, err)
+		}
+		if r.flags&elfSHFAlloc != 0 {
+			// Caps over what the decoder will materialize: sh_size of a
+			// NOBITS section is backed by no file bytes, so unchecked it
+			// is a free OOM lever for a tiny upload.
+			if r.size > elfMaxSecSize {
+				return nil, elfErr(hdrOff, "section %d size %#x exceeds the %d MiB section cap",
+					i, r.size, elfMaxSecSize>>20)
+			}
+			if allocTotal += uint64(r.size); allocTotal > elfMaxImageSize {
+				return nil, elfErr(hdrOff, "total mapped section size exceeds the %d MiB image cap",
+					elfMaxImageSize>>20)
+			}
+			if end := uint64(r.addr) + uint64(r.size); end > 0xFFFFFFFF {
+				return nil, elfErr(hdrOff, "section %d range [%#x,%#x) wraps the 32-bit address space",
+					i, r.addr, end)
+			}
 		}
 		sec := ELFSection{
 			Name: name, Type: r.typ, Flags: r.flags,

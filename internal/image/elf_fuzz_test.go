@@ -41,6 +41,11 @@ func FuzzELFParse(f *testing.F) {
 	}
 	f.Add([]byte(ELFMagic))
 	f.Add([]byte{})
+	// The NOBITS-bomb shape: a tiny file declaring a huge .bss.
+	f.Add(miniELF(testShdr{
+		name: 1, typ: elfSHTNobits, flags: elfSHFAlloc | elfSHFWrite,
+		addr: 0xFFFFF000, size: 0xF0000000,
+	}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if !IsELF(data) {
 			return

@@ -1,0 +1,112 @@
+package image
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// testShdr is one synthetic section header for miniELF.
+type testShdr struct {
+	name, typ, flags, addr, off, size, link uint32
+}
+
+// miniELF builds a minimal structurally-valid ELF32 executable: the
+// ELF header, a null section, the given sections, and a trailing
+// .shstrtab. Name index 1 resolves to ".bss". It exists so the limit
+// tests can forge exact header values a real toolchain never emits.
+func miniELF(secs ...testShdr) []byte {
+	le := binary.LittleEndian
+	strtab := []byte("\x00.bss\x00.shstrtab\x00")
+	shnum := len(secs) + 2
+	shoff := elfEhdrSize
+	stroff := shoff + shnum*elfShdrSize
+	data := make([]byte, stroff+len(strtab))
+	copy(data, ELFMagic)
+	data[4] = elfClass32
+	data[5] = elfData2LSB
+	le.PutUint16(data[16:], elfTypeExec)
+	le.PutUint16(data[18:], elfMachine86)
+	le.PutUint32(data[32:], uint32(shoff))
+	le.PutUint16(data[46:], elfShdrSize)
+	le.PutUint16(data[48:], uint16(shnum))
+	le.PutUint16(data[50:], uint16(shnum-1))
+	all := make([]testShdr, 0, shnum)
+	all = append(all, testShdr{}) // mandatory null section
+	all = append(all, secs...)
+	all = append(all, testShdr{
+		name: 6, typ: elfSHTStrtab, off: uint32(stroff), size: uint32(len(strtab)),
+	})
+	for i, s := range all {
+		o := shoff + i*elfShdrSize
+		le.PutUint32(data[o:], s.name)
+		le.PutUint32(data[o+4:], s.typ)
+		le.PutUint32(data[o+8:], s.flags)
+		le.PutUint32(data[o+12:], s.addr)
+		le.PutUint32(data[o+16:], s.off)
+		le.PutUint32(data[o+20:], s.size)
+		le.PutUint32(data[o+24:], s.link)
+	}
+	copy(data[stroff:], strtab)
+	return data
+}
+
+// TestParseELFAcceptsSmallNobits proves the size caps do not
+// over-reject: an ordinary .bss declaration parses cleanly.
+func TestParseELFAcceptsSmallNobits(t *testing.T) {
+	data := miniELF(testShdr{
+		name: 1, typ: elfSHTNobits, flags: elfSHFAlloc | elfSHFWrite,
+		addr: 0x08050000, size: 0x1000,
+	})
+	f, err := ParseELF(data)
+	if err != nil {
+		t.Fatalf("small .bss rejected: %v", err)
+	}
+	if got := f.Sections[1].Size; got != 0x1000 {
+		t.Errorf("section size = %#x, want 0x1000", got)
+	}
+}
+
+// TestParseELFRejectsNobitsBomb pins the OOM fix: a SHT_NOBITS section
+// declaring gigabytes of memory in a tiny file must fail typed before
+// anything is allocated for it, never take the process down.
+func TestParseELFRejectsNobitsBomb(t *testing.T) {
+	data := miniELF(testShdr{
+		name: 1, typ: elfSHTNobits, flags: elfSHFAlloc | elfSHFWrite,
+		addr: 0x08050000, size: 0xF0000000, // ~3.75 GiB from a ~300-byte file
+	})
+	if _, err := ParseELF(data); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("want ErrBadImage for NOBITS bomb, got %v", err)
+	}
+	if _, err := DecodeELF("/bomb", data); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("DecodeELF: want ErrBadImage for NOBITS bomb, got %v", err)
+	}
+}
+
+// TestParseELFRejectsAllocTotalOverCap proves many individually-legal
+// sections cannot add up past the whole-image cap.
+func TestParseELFRejectsAllocTotalOverCap(t *testing.T) {
+	var secs []testShdr
+	for i := 0; i < elfMaxImageSize/elfMaxSecSize+1; i++ {
+		secs = append(secs, testShdr{
+			name: 1, typ: elfSHTNobits, flags: elfSHFAlloc | elfSHFWrite,
+			addr: uint32(0x10000000 + i*2*elfMaxSecSize), size: elfMaxSecSize,
+		})
+	}
+	if _, err := ParseELF(miniELF(secs...)); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("want ErrBadImage for total over image cap, got %v", err)
+	}
+}
+
+// TestParseELFRejectsAddressWrap pins the address-space check: a
+// section pinned so high that addr+size wraps uint32 must fail at
+// parse, not reach the loader with a wrapped end address.
+func TestParseELFRejectsAddressWrap(t *testing.T) {
+	data := miniELF(testShdr{
+		name: 1, typ: elfSHTNobits, flags: elfSHFAlloc | elfSHFWrite,
+		addr: 0xFFFFF000, size: 0x2000,
+	})
+	if _, err := ParseELF(data); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("want ErrBadImage for address-space wrap, got %v", err)
+	}
+}

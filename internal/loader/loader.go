@@ -178,7 +178,17 @@ func (m *Map) load(cpu *isa.CPU, img *image.Image, env *Env, root bool) (*Loaded
 			continue
 		}
 		li.SectionBases[i] = sec.Addr
-		end := sec.Addr + sec.Size()
+		// The end address is computed in uint64: Addr and Size are
+		// image-controlled, and a section pinned near the top of the
+		// address space would wrap a uint32 sum to a small value that
+		// slips past every overlap check and the auto-layout cursor
+		// bump below, silently aliasing other mapped memory.
+		end64 := uint64(sec.Addr) + uint64(sec.Size())
+		if end64 > 0xFFFFFFFF {
+			return nil, fmt.Errorf("loader: image %s: section %s range [%#x,%#x) exceeds the 32-bit address space: %w",
+				img.Name, sec.Name, sec.Addr, end64, image.ErrBadImage)
+		}
+		end := uint32(end64)
 		if sec.Addr < lo {
 			lo = sec.Addr
 		}

@@ -104,6 +104,28 @@ func TestPinnedOverlapRejected(t *testing.T) {
 	}
 }
 
+// TestPinnedWrapRejected proves a pinned section whose end address
+// would wrap the 32-bit address space fails as a typed load error
+// instead of slipping past the overlap checks with a wrapped end and
+// silently aliasing other mapped memory.
+func TestPinnedWrapRejected(t *testing.T) {
+	im := image.New("/bin/wrap")
+	im.Entry = "_start"
+	im.Sections = []image.Section{
+		{Name: ".text", Kind: image.Text, Instrs: []isa.Instr{{Op: isa.HLT}}},
+		{Name: ".bss", Kind: image.Data, Data: make([]byte, 0x2000), Addr: 0xFFFFF000},
+	}
+	im.Symbols["_start"] = image.Symbol{Section: 0, Offset: 0}
+	cpu, _ := newCPUWithShadow()
+	_, err := NewMap().Load(cpu, im, &Env{})
+	if err == nil {
+		t.Fatal("address-wrapping pinned section accepted")
+	}
+	if !errors.Is(err, image.ErrBadImage) {
+		t.Errorf("want ErrBadImage, got %v", err)
+	}
+}
+
 // TestPinnedIntraImageOverlapRejected proves two pinned sections of
 // one image that collide with each other are rejected at load.
 func TestPinnedIntraImageOverlapRejected(t *testing.T) {

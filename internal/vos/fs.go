@@ -68,6 +68,16 @@ func (fs *FS) InstallBinary(path string, data []byte) (*File, error) {
 	return f, nil
 }
 
+// InstallDecoded places an executable at path from its raw bytes plus
+// an image the caller already decoded from exactly those bytes,
+// skipping the decode InstallBinary would repeat. Images are immutable
+// after load, so sharing one across files (or guest worlds) is safe.
+func (fs *FS) InstallDecoded(path string, data []byte, img *image.Image) *File {
+	f := &File{Path: path, Data: append([]byte(nil), data...), Image: img}
+	fs.files[path] = f
+	return f
+}
+
 // Lookup finds a file by path.
 func (fs *FS) Lookup(path string) (*File, bool) {
 	f, ok := fs.files[path]

@@ -454,7 +454,8 @@ func (h *JobHandle) settle(r *JobResult) bool {
 type job struct {
 	h       *JobHandle
 	spec    JobSpec
-	inj     *chaos.Injector // nil without a service chaos plan
+	decoded map[string]*image.Image // binary payloads decoded at submit, reused per attempt
+	inj     *chaos.Injector         // nil without a service chaos plan
 	shed    int
 	attempt int // 0-based execution attempt
 }
@@ -544,7 +545,9 @@ func (s *Service) shedLevel(sh *shard) int {
 }
 
 // validateSpec rejects malformed specifications with the typed
-// bad-spec error before any resources are committed.
+// bad-spec error before any resources are committed. It is cheap —
+// structural field checks only; payload decoding is decodeBinaries,
+// run separately so it can sit behind the backpressure gate.
 func validateSpec(spec *JobSpec) *JobError {
 	if spec.Path == "" {
 		return &JobError{Code: JobBadSpec, Msg: "missing path"}
@@ -555,24 +558,38 @@ func validateSpec(spec *JobSpec) *JobError {
 	if spec.DeadlineMS < 0 {
 		return &JobError{Code: JobBadSpec, Msg: "negative deadline"}
 	}
-	// Binary payloads are decoded up front so a malformed container is
-	// a synchronous typed rejection (HTTP 400) rather than a terminal
-	// job failure discovered on a worker. Only structural failures
-	// (ErrBadImage) reject here; a payload that sniffs as source but
-	// fails to compile stays a bad *program*, reported at execute time
-	// exactly like a Programs entry. The execute-time decode repeats
-	// this work, which is cheap next to a monitored run.
+	return nil
+}
+
+// decodeBinaries decodes every binary payload up front so a malformed
+// container is a synchronous typed rejection (HTTP 400) rather than a
+// terminal job failure discovered on a worker. Only structural
+// failures (ErrBadImage) reject; a payload that sniffs as source but
+// fails to compile stays a bad *program*, reported at execute time
+// exactly like a Programs entry. Successful decodes are returned so
+// execute reuses them instead of repeating the parse+translate per
+// attempt.
+func decodeBinaries(spec *JobSpec) (map[string]*image.Image, *JobError) {
+	if len(spec.Binaries) == 0 {
+		return nil, nil
+	}
 	bins := make([]string, 0, len(spec.Binaries))
 	for p := range spec.Binaries {
 		bins = append(bins, p)
 	}
 	sort.Strings(bins)
+	decoded := make(map[string]*image.Image, len(bins))
 	for _, p := range bins {
-		if _, err := image.Decode(p, spec.Binaries[p]); err != nil && errors.Is(err, image.ErrBadImage) {
-			return &JobError{Code: JobBadImage, Msg: err.Error()}
+		img, err := image.Decode(p, spec.Binaries[p])
+		if err != nil {
+			if errors.Is(err, image.ErrBadImage) {
+				return nil, &JobError{Code: JobBadImage, Msg: err.Error()}
+			}
+			continue // compile diagnostics resurface at execute time
 		}
+		decoded[p] = img
 	}
-	return nil
+	return decoded, nil
 }
 
 // Submit admits a job. The error is a *JobError (malformed spec), an
@@ -602,7 +619,21 @@ func (s *Service) Submit(spec JobSpec) (*JobHandle, error) {
 			spec.Path = ""
 		}
 	}
-	if jerr := validateSpec(&spec); jerr != nil {
+	sh := s.shardFor(spec.Tenant)
+	jerr := validateSpec(&spec)
+	var decoded map[string]*image.Image
+	if jerr == nil {
+		// Backpressure before decode work: a saturated shard rejects
+		// here, before any payload parsing, so a flood of pathological
+		// uploads cannot buy unbounded submit-path CPU. The check
+		// mirrors pool.Submit's own queue-full condition; the admit
+		// below remains authoritative if the race goes the other way.
+		if sh.pool.Queued() >= s.cfg.QueueDepth {
+			return nil, &OverloadError{Shard: sh.id, RetryAfter: s.cfg.RetryAfter}
+		}
+		decoded, jerr = decodeBinaries(&spec)
+	}
+	if jerr != nil {
 		if inj != nil {
 			s.collectFaults(inj)
 		}
@@ -611,10 +642,9 @@ func (s *Service) Submit(spec JobSpec) (*JobHandle, error) {
 		return nil, jerr
 	}
 
-	sh := s.shardFor(spec.Tenant)
 	shed := s.shedLevel(sh)
 	h := newHandle(id, spec.Tenant, sh.id, spec.Stream && shed < ShedTrace)
-	j := &job{h: h, spec: spec, inj: inj, shed: shed}
+	j := &job{h: h, spec: spec, decoded: decoded, inj: inj, shed: shed}
 
 	ok := sh.pool.Submit(pool.Task{
 		Run:     func() { s.runJob(j) },
@@ -702,6 +732,12 @@ func (s *Service) execute(j *job) (*Result, error) {
 	}
 	sort.Strings(bins)
 	for _, p := range bins {
+		if img := j.decoded[p]; img != nil {
+			// Decoded once at submit; installing the cached image skips
+			// repeating the parse+translate on every attempt.
+			sys.InstallDecodedBinary(p, j.spec.Binaries[p], img)
+			continue
+		}
 		if err := sys.InstallBinary(p, j.spec.Binaries[p]); err != nil {
 			// Structural failures (malformed container) are bad-image;
 			// a payload that decodes as source but fails to compile is a
