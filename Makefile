@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test bench tables chaos trace benchgate serve soak elf
+.PHONY: check test bench tables chaos trace benchgate serve soak elf clean-tier
 
 # The full pre-merge gate: vet + build + tests + race-detector pass
 # over the parallel corpus runner + seeded chaos sweep + fuzz smoke.
@@ -45,6 +45,15 @@ elf:
 	$(GO) test -count=1 ./internal/x86 ./internal/loader
 	$(GO) test -count=1 -run TestInstallSource .
 	$(GO) test -fuzz=FuzzELFParse -fuzztime=10s ./internal/image
+
+# The clean-tier gate: the full-corpus differential sweep (clean
+# off/on × traces off/on, signatures bit-identical), the page-flip
+# seam units, the chaos-delayed recv re-instrumentation regression,
+# and a fuzz smoke over the mid-run taint-injection oracle.
+clean-tier:
+	$(GO) test -count=1 -run 'TestCleanTierDifferentialSweep|TestCleanTierReinstrumentOnDelayedRecv' ./internal/corpus
+	$(GO) test -count=1 -run 'TestShadowSourceAfterCachedNil|TestShadowPageFlipSeam' ./internal/taint
+	$(GO) test -fuzz=FuzzCleanReinstrument -fuzztime=10s ./internal/harrier
 
 # Run the evaluation tables with the live introspection server held
 # open on :8077 — curl /metrics, /events, or /flight while it runs;

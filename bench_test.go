@@ -94,6 +94,30 @@ func BenchmarkPerfMemInterpDataflow(b *testing.B) {
 	benchPerf(b, "mem", corpus.PerfFull, interpTier)
 }
 
+// summaryTier caps the engine at the summary tier — the pre-trace
+// configuration the trace tier is A/B-measured against.
+func summaryTier(cfg *hth.Config) {
+	cfg.Monitor.TraceThreshold = 0
+	cfg.Monitor.CleanThreshold = 0
+}
+
+func BenchmarkPerfMemSummaryDataflow(b *testing.B) {
+	benchPerf(b, "mem", corpus.PerfFull, summaryTier)
+}
+
+// noCleanTier caps the engine at the trace tier — the configuration
+// BenchmarkPerfMemSparseTaint is A/B-measured against. The sparse
+// workload's moving pointer defeats the value-keyed clean-taint gate,
+// so this is the full-transfer trace path.
+func noCleanTier(cfg *hth.Config) { cfg.Monitor.CleanThreshold = 0 }
+
+func BenchmarkPerfMemSparseTaint(b *testing.B) {
+	benchPerf(b, "sparse", corpus.PerfFull, nil)
+}
+func BenchmarkPerfMemSparseTaintNoClean(b *testing.B) {
+	benchPerf(b, "sparse", corpus.PerfFull, noCleanTier)
+}
+
 // BenchmarkFigure3BBAttribution exercises the application↔shared
 // object basic-block path of paper Figure 3: a guest hammering a libc
 // routine, with frequency attribution active.

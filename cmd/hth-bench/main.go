@@ -284,12 +284,20 @@ type perfRow struct {
 	TraceHits      uint64 `json:"trace_hits,omitempty"`
 	TraceSideExits uint64 `json:"trace_side_exits,omitempty"`
 	GateSkips      uint64 `json:"gate_skips,omitempty"`
+
+	// Clean tier statistics (zero outside full mode): block/trace
+	// entries that ran fully uninstrumented, verdicts cached by the
+	// demotion machinery, and cached verdicts dropped because taint
+	// reached their footprint (the re-instrumentation events).
+	CleanHits         uint64 `json:"clean_hits,omitempty"`
+	CleanDemotions    uint64 `json:"clean_demotions,omitempty"`
+	ReinstrumentCount uint64 `json:"reinstrument_count,omitempty"`
 }
 
 func printPerf(intro *hth.Introspection) ([]perfRow, *hth.MetricsSnapshot) {
 	t := &report.Table{
 		Title:  "Section 9: Performance (virtual-machine throughput per monitoring level)",
-		Header: []string{"Workload", "Mode", "Guest instrs", "Wall time", "Slowdown vs bare", "Tier hits", "Trace hits", "Gate"},
+		Header: []string{"Workload", "Mode", "Guest instrs", "Wall time", "Slowdown vs bare", "Tier hits", "Trace hits", "Gate", "Clean"},
 	}
 	// One shared metrics registry observes every perf run; its snapshot
 	// lands under "metrics" in BENCH_<date>.json.
@@ -333,8 +341,14 @@ func printPerf(intro *hth.Introspection) ([]perfRow, *hth.MetricsSnapshot) {
 				trace = fmt.Sprintf("%.1f%%", 100*float64(res.Stats.TraceHits)/float64(res.Stats.Blocks))
 				gate = fmt.Sprint(res.Stats.GateSkips)
 			}
+			// Clean-tier share of all block entries: the fraction that ran
+			// fully uninstrumented after a footprint proof.
+			clean := "—"
+			if res.Stats.CleanDemoted > 0 {
+				clean = fmt.Sprintf("%.1f%%", 100*float64(res.Stats.CleanHits)/float64(res.Stats.Blocks))
+			}
 			t.Add(wl, mode.String(), fmt.Sprint(res.TotalSteps),
-				elapsed.Round(time.Microsecond).String(), slow, tier, trace, gate)
+				elapsed.Round(time.Microsecond).String(), slow, tier, trace, gate, clean)
 			rows = append(rows, perfRow{
 				Workload:       wl,
 				Mode:           mode.String(),
@@ -353,6 +367,10 @@ func printPerf(intro *hth.Introspection) ([]perfRow, *hth.MetricsSnapshot) {
 				TraceHits:      res.Stats.TraceHits,
 				TraceSideExits: res.Stats.TraceSideExits,
 				GateSkips:      res.Stats.GateSkips,
+
+				CleanHits:         res.Stats.CleanHits,
+				CleanDemotions:    res.Stats.CleanDemoted,
+				ReinstrumentCount: res.Stats.Reinstrumented,
 			})
 		}
 	}

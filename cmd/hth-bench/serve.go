@@ -22,6 +22,11 @@ type serveReport struct {
 	JobsPerSec  float64 `json:"jobs_per_sec"`
 	Mismatches  int     `json:"signature_mismatches"`
 	BatchWallNS int64   `json:"batch_wall_ns"`
+
+	// TierMix is the fleet-wide execution-tier mix over all jobs — the
+	// same counters batch mode reports per perf row, so serve-vs-batch
+	// tier behaviour is comparable inside one BENCH_<date>.json.
+	TierMix hth.TierMix `json:"tier_mix"`
 }
 
 // runServe benchmarks the analysis service against the batch sweep:
@@ -97,10 +102,14 @@ func runServe(parallel int, jsonOut bool) int {
 		Jobs: len(scs), Shards: shards, Workers: workers,
 		WallNS: wall.Nanoseconds(), JobsPerSec: float64(len(scs)) / wall.Seconds(),
 		Mismatches: mismatches, BatchWallNS: batchWall.Nanoseconds(),
+		TierMix: svc.Health().TierMix,
 	}
 	fmt.Printf("serve: %d jobs in %s (%.1f jobs/s, batch sweep %s); signature mismatches: %d\n",
 		rep.Jobs, wall.Round(time.Millisecond), rep.JobsPerSec,
 		batchWall.Round(time.Millisecond), mismatches)
+	fmt.Printf("serve tier mix: %d blocks (interp %d, summary %d, trace %d, clean %d; reinstrumented %d)\n",
+		rep.TierMix.Blocks, rep.TierMix.Interp, rep.TierMix.Summary,
+		rep.TierMix.Trace, rep.TierMix.Clean, rep.TierMix.Reinstrumented)
 
 	if jsonOut {
 		path := fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))

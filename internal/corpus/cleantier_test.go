@@ -1,0 +1,71 @@
+package corpus
+
+import (
+	"testing"
+
+	hth "repro"
+)
+
+// TestCleanTierDifferentialSweep is the clean tier's correctness gate,
+// one rung above TestTraceDifferentialSweep: the full corpus (ELF
+// fixtures included) runs with the clean tier off and on, crossed with
+// the trace tier off and on, and the sweep signatures must match
+// element-wise in every cell. Detections, reported tag sets, warning
+// order and guest faults are therefore bit-identical whether a block
+// executes instrumented (interpreter, summary, trace) or demoted to
+// the uninstrumented clean variant — the tier can only ever skip
+// transfer that was proven a no-op, never a detection.
+func TestCleanTierDifferentialSweep(t *testing.T) {
+	scs := All()
+	cell := func(cleanThreshold, traceThreshold int) []RunOutcome {
+		return RunAllWith(scs, 0, func(_ *Scenario, cfg *hth.Config) {
+			cfg.Monitor.PromoteThreshold = 1
+			cfg.Monitor.TraceThreshold = traceThreshold
+			cfg.Monitor.CleanThreshold = cleanThreshold
+		})
+	}
+	base := cell(0, 0)
+	ref := SweepSignature(base)
+	for _, c := range []struct {
+		name           string
+		cleanThreshold int
+		traceThreshold int
+	}{
+		{"clean", 1, 0},
+		{"traces", 0, 2},
+		{"clean+traces", 1, 2},
+	} {
+		got := SweepSignature(cell(c.cleanThreshold, c.traceThreshold))
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Errorf("%s divergence:\n  base: %s\n  %s: %s", c.name, ref[i], c.name, got[i])
+			}
+		}
+	}
+	// The clean cells must actually have demoted blocks — and the
+	// re-instrumentation seam must have fired somewhere — or the
+	// comparison proves nothing.
+	for _, c := range []struct {
+		name           string
+		traceThreshold int
+	}{{"clean", 0}, {"clean+traces", 2}} {
+		outs := cell(1, c.traceThreshold)
+		hits, reinst := 0, 0
+		for _, o := range outs {
+			if o.Result == nil {
+				continue
+			}
+			if o.Result.Stats.CleanHits > 0 {
+				hits++
+			}
+			if o.Result.Stats.Reinstrumented > 0 {
+				reinst++
+			}
+		}
+		if hits == 0 {
+			t.Fatalf("%s: no scenario took the clean tier; differential sweep is vacuous", c.name)
+		}
+		t.Logf("%s: clean tier exercised by %d/%d scenarios, re-instrumentation by %d",
+			c.name, hits, len(outs), reinst)
+	}
+}

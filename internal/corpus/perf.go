@@ -60,6 +60,67 @@ src: .space 64, 0xAB
 dst: .space 64
 `
 
+// sparseWorkload is a block-copy kernel with taint in the picture but
+// never in the path: stdin — a taint source — lands in tbuf, while
+// the hot loop streams words between two scratch pages at
+// 0x200000/0x201000, runtime-written memory far from both tbuf's
+// shadow page and the binary image (whose bytes the loader tags at
+// load time). This is the regime the clean tier targets: the moving
+// pointer defeats the value-keyed clean-taint gate (128 distinct edi
+// values per pass against 16 gate ways), so the trace tier pays the
+// full word-granular shadow transfer on every entry — yet the loop's
+// whole footprint stays on taint-free pages, so the value-independent
+// clean proof holds everywhere and the clean tier runs the copy at
+// concrete speed.
+const sparseWorkload = `
+.text
+_start:
+    mov ebx, 0
+    mov ecx, tbuf
+    mov edx, 64
+    mov eax, 3          ; read(stdin): taints tbuf's page only
+    int 0x80
+    xor eax, eax
+    mov edi, 0
+seed:
+    mov ecx, 0x200000   ; scratch buffers: runtime memory, never
+    add ecx, edi        ; binary-tagged; seeding through a zeroed
+    mov [ecx], eax      ; register keeps their shadow pages untouched
+    add edi, 4
+    cmp edi, 4096
+    jl seed
+    mov esi, 60         ; passes
+pass:
+    mov edi, 0
+copyloop:
+    mov ecx, 0x200000   ; src page; dst = the adjacent clean page,
+    add ecx, edi        ; addressed as [ecx+0x1000+d]
+    mov eax, [ecx]
+    mov [ecx+0x1000], eax
+    mov eax, [ecx+4]
+    mov [ecx+0x1004], eax
+    mov eax, [ecx+8]
+    mov [ecx+0x1008], eax
+    mov eax, [ecx+12]
+    mov [ecx+0x100c], eax
+    mov eax, [ecx+16]
+    mov [ecx+0x1010], eax
+    mov eax, [ecx+20]
+    mov [ecx+0x1014], eax
+    mov eax, [ecx+24]
+    mov [ecx+0x1018], eax
+    mov eax, [ecx+28]
+    mov [ecx+0x101c], eax
+    add edi, 32
+    cmp edi, 4096
+    jl copyloop
+    dec esi
+    jnz pass
+    hlt
+.data
+tbuf: .space 64
+`
+
 // PerfMode selects the monitoring level for the performance benches.
 type PerfMode int
 
@@ -84,7 +145,7 @@ func (m PerfMode) String() string {
 }
 
 // PerfWorkloads names the available performance guests.
-func PerfWorkloads() []string { return []string{"alu", "mem"} }
+func PerfWorkloads() []string { return []string{"alu", "mem", "sparse"} }
 
 // RunPerf executes the named workload under the given mode and
 // returns the result (inspect TotalSteps for the work done).
@@ -105,11 +166,22 @@ func RunPerfObserved(workload string, mode PerfMode, observers ...hth.Observer) 
 // through it without the perf workloads leaking out of this package.
 func RunPerfWith(workload string, mode PerfMode, tweak func(*hth.Config), observers ...hth.Observer) (*hth.Result, error) {
 	sys := hth.NewSystem()
+	// Batch-sized scheduler quantum: these are single-process
+	// throughput guests, so fairness granularity buys nothing and the
+	// default interactive slice (128) would leave a tail too short for
+	// a compiled trace at the end of every slice — measuring the
+	// interpreter, not the tier under test. Applied across all modes,
+	// so every A/B comparison sees the same scheduling.
+	sys.OS.SetStepsPerSlice(4096)
+	spec := hth.RunSpec{Path: "/bin/" + workload}
 	switch workload {
 	case "alu":
 		sys.MustInstallSource("/bin/alu", aluWorkload)
 	case "mem":
 		sys.MustInstallSource("/bin/mem", memWorkload)
+	case "sparse":
+		sys.MustInstallSource("/bin/sparse", sparseWorkload)
+		spec.Stdin = []byte("sparse-taint: 64 bytes of external payload, page-isolated...")
 	default:
 		return nil, fmt.Errorf("corpus: unknown perf workload %q", workload)
 	}
@@ -124,5 +196,5 @@ func RunPerfWith(workload string, mode PerfMode, tweak func(*hth.Config), observ
 	if tweak != nil {
 		tweak(&cfg)
 	}
-	return sys.Run(cfg, hth.RunSpec{Path: "/bin/" + workload})
+	return sys.Run(cfg, spec)
 }

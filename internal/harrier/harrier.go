@@ -77,6 +77,16 @@ type Config struct {
 	// 0 disables the trace tier; blocks stop at the summary tier.
 	// Requires tiering (PromoteThreshold > 0) to be reachable at all.
 	TraceThreshold int
+	// CleanThreshold arms the fourth tier — taint-scoped partial
+	// instrumentation (see cleantier.go): a compiled block whose
+	// counter reaches it becomes a demotion candidate, running
+	// UNINSTRUMENTED (no shadow lookups, no transfer, no hooks)
+	// whenever its footprint pages and entry register tags are
+	// provably clean, and re-instrumenting the moment taint reaches
+	// its footprint (the shadow page-flip seam / vos taint-source
+	// seam). Traces probe the clean tier at every entry once armed.
+	// 0 disables the tier. Requires tiering (PromoteThreshold > 0).
+	CleanThreshold int
 }
 
 // DefaultConfig enables all modules.
@@ -88,6 +98,7 @@ func DefaultConfig() Config {
 		KeepEventLog:     true,
 		PromoteThreshold: 64,
 		TraceThreshold:   256,
+		CleanThreshold:   64,
 	}
 }
 
@@ -132,6 +143,14 @@ type Stats struct {
 	TraceSideExits   uint64 // trace runs ended by a mispredicted branch
 	GateSkips        uint64 // trace runs served by the clean-taint gate
 	TierTraceDemoted uint64 // traces dropped by execve invalidation
+
+	// Clean tier counters (see cleantier.go). CleanHits is included in
+	// Blocks — a clean entry counts the block exactly as every other
+	// tier does — and is disjoint from TierHits/TraceHits: each block
+	// entry is credited to exactly one tier.
+	CleanDemoted   uint64 // clean verdicts proved and cached
+	CleanHits      uint64 // block entries served uninstrumented
+	Reinstrumented uint64 // clean verdicts flushed by taint reaching their footprint
 
 	TaintSets       int    // distinct source sets interned
 	TaintUnions     uint64 // union operations performed
@@ -181,6 +200,13 @@ type Harrier struct {
 	// only when the summary tier underneath it is armed.
 	tierThreshold  int64
 	traceThreshold int64
+	// cleanThreshold caches Config.CleanThreshold the same way.
+	// cleanEpoch is the monitor-side invalidation clock of the clean
+	// tier: advanced by the vos taint-source seam and the shadow
+	// page-flip listener; cached clean verdicts snapshot it and
+	// re-validate their pages when it moves (see cleantier.go).
+	cleanThreshold int64
+	cleanEpoch     uint64
 
 	cloneCount int64
 	cloneTimes []uint64
@@ -224,6 +250,9 @@ func New(cfg Config, sec *secpert.Secpert) *Harrier {
 		h.tierThreshold = int64(cfg.PromoteThreshold)
 		if cfg.TraceThreshold > 0 {
 			h.traceThreshold = int64(cfg.TraceThreshold)
+		}
+		if cfg.CleanThreshold > 0 {
+			h.cleanThreshold = int64(cfg.CleanThreshold)
 		}
 	}
 	return h
@@ -303,6 +332,9 @@ func (h *Harrier) Started(p *vos.Process) {
 		hooks.OnBBSummary = h.onBBSummary
 	}
 	p.CPU.Hooks = hooks
+	if h.cleanThreshold > 0 && p.CPU.Shadow != nil {
+		p.CPU.Shadow.OnPageFlip(h.onPageFlip)
+	}
 }
 
 // Forked: the child inherits the parent's hooks via CPU.Clone; only
@@ -313,6 +345,11 @@ func (h *Harrier) Started(p *vos.Process) {
 func (h *Harrier) Forked(parent, child *vos.Process) {
 	if bb, ok := h.lastAppOf(parent.PID); ok {
 		h.lastApp[child.PID] = bb
+	}
+	// The child's shadow is a fresh Clone: listeners don't ride along,
+	// so the clean tier's flip seam must be re-installed per shadow.
+	if h.cleanThreshold > 0 && child.CPU.Shadow != nil {
+		child.CPU.Shadow.OnPageFlip(h.onPageFlip)
 	}
 }
 

@@ -47,6 +47,10 @@ type blockSummary struct {
 	key        bbKey
 	isApp      bool
 	traceTried bool
+
+	// clean is the fourth-tier demotion state (see cleantier.go):
+	// footprint eligibility plus cached clean verdicts.
+	clean cleanState
 }
 
 // maybePromote is the tier transition, called from collectBBFrequency
@@ -62,13 +66,19 @@ func (h *Harrier) maybePromote(c *isa.CPU, s *isa.Span, leader int, key bbKey, c
 		return
 	}
 	p := c.Ctx.(*vos.Process)
-	s.SetBBSummary(leader, &blockSummary{
+	bs := &blockSummary{
 		Summary: *sum,
 		owner:   h,
 		ctr:     ctr,
 		key:     key,
 		isApp:   s.Image == p.Path,
-	})
+	}
+	if h.cleanThreshold > 0 {
+		// A summary's addresses are entry-relative by construction, so
+		// eligibility only depends on the footprint caps.
+		bs.clean.initFootprint(sum.ops)
+	}
+	s.SetBBSummary(leader, bs)
 	h.stats.TierPromoted++
 	if h.bus != nil {
 		h.bus.Publish(obs.Event{
@@ -99,7 +109,9 @@ func (h *Harrier) onBBSummary(c *isa.CPU, s *isa.Span, leader int, summary any) 
 				return h.enterTrace(c, tr)
 			}
 		}
-		h.applySummary(c, sum)
+		if h.applySummary(c, sum) {
+			return isa.SummaryClean, nil
+		}
 		return isa.SummaryBlock, nil
 	case *blockTrace:
 		if sum.head.owner != h || c.Shadow == nil {
@@ -119,7 +131,9 @@ func (h *Harrier) onBBSummary(c *isa.CPU, s *isa.Span, leader int, summary any) 
 func (h *Harrier) enterTrace(c *isa.CPU, tr *blockTrace) (isa.SummaryAction, error) {
 	budget := c.TraceBudget
 	if budget > 0 && tr.blocks[0].instrs > budget {
-		h.applySummary(c, tr.head)
+		if h.applySummary(c, tr.head) {
+			return isa.SummaryClean, nil
+		}
 		return isa.SummaryBlock, nil
 	}
 	return isa.SummaryTrace, h.runTrace(c, tr, budget)
@@ -128,10 +142,12 @@ func (h *Harrier) enterTrace(c *isa.CPU, tr *blockTrace) (isa.SummaryAction, err
 // applySummary reproduces exactly what one interpreter-tier traversal
 // of the block performs — the frequency count, the last-app
 // attribution, the instrumented-instruction statistics with their
-// sampling boundary, and the taint transfer.
-func (h *Harrier) applySummary(c *isa.CPU, sum *blockSummary) {
+// sampling boundary, and the taint transfer. It returns true when the
+// clean tier served the entry: every observable side effect above
+// still happened, but the transfer was proven a no-op and skipped
+// (the caller answers SummaryClean so the block runs uninstrumented).
+func (h *Harrier) applySummary(c *isa.CPU, sum *blockSummary) bool {
 	h.stats.Blocks++
-	h.stats.TierHits++
 	ctr := sum.ctr
 	*ctr++
 	if h.prov != nil {
@@ -160,7 +176,14 @@ func (h *Harrier) applySummary(c *isa.CPU, sum *blockSummary) {
 	if h.bus != nil && old>>taintSampleShift != h.stats.Instructions>>taintSampleShift {
 		h.publishTaintSample(c)
 	}
+	if sum.clean.ok && *ctr >= h.cleanThreshold && h.cleanThreshold > 0 &&
+		h.cleanProbeSum(c, sum) {
+		h.stats.CleanHits++
+		return true
+	}
+	h.stats.TierHits++
 	h.applyOps(c, sum.ops)
+	return false
 }
 
 // publishBBRoll emits the rollover event for a summary-tier counter;

@@ -184,6 +184,12 @@ type blockTrace struct {
 	info   []mopInfo
 	blocks []traceBlock
 
+	// clean is the fourth-tier demotion state (see cleantier.go). Only
+	// initialized when the symbolic gate held for the whole path
+	// (gateOK), because the footprint is derived from the same
+	// entry-relative symbolic address stream.
+	clean cleanState
+
 	nInstr    uint16 // instructions retired by a full run
 	nData     uint16 // data-moving instructions instrumented by a full run
 	endEIP    uint32 // exit point of a full run
@@ -385,6 +391,12 @@ walk:
 		gateOK: tc.gateOK,
 	}
 	if tr.gateOK {
+		// Footprint first: collectGateRegs may clear gateOK when the
+		// input set overflows, but the footprint derivation only needs
+		// the symbolic address stream, which held for the whole path.
+		if h.cleanThreshold > 0 {
+			tr.clean.initFootprint(tc.sc.ops)
+		}
 		tr.collectGateRegs(tc.sc.ops)
 	}
 	return tr
@@ -626,11 +638,14 @@ func (tr *blockTrace) collectGateRegs(ops []sumOp) {
 // mop index this run did NOT cover (the gate entry's end), and the
 // guest fault if the run died on one.
 type traceExit struct {
-	eip     uint32
-	jumped  bool
-	steps   uint16
-	nData   uint16
-	nBlocks uint16
+	eip    uint32
+	jumped bool
+	// 32-bit counts: a single run fits uint16, but the clean tier
+	// fuses consecutive runs of a self-looping trace into one exit,
+	// whose totals are bounded only by the scheduler quantum.
+	steps   uint32
+	nData   uint32
+	nBlocks uint32
 	end     int
 	dirty   bool
 	lastB   *traceBlock
@@ -646,6 +661,39 @@ func (h *Harrier) runTrace(c *isa.CPU, tr *blockTrace, budget int) error {
 	verify := false
 	var entGen uint64
 	var entVals [traceGateRegs]uint32
+	if tr.clean.ok && h.cleanProbeTrace(c, tr) {
+		// Clean tier: the whole transfer is a proven no-op under the
+		// current footprint/tag state, so run the trace with zero
+		// instrumentation. end = len(mops) means the bare loop never
+		// hands over to the taint loop (cont is always -1).
+		ex, _ := h.runTraceBare(c, tr, budget, len(tr.mops))
+		// Clean-loop fusion: when the run lands back on this trace's
+		// own head (a self-looping hot loop), re-enter directly instead
+		// of surfacing to the fetch loop — per-entry dispatch is most
+		// of what the clean tier still pays. Nothing a cached verdict
+		// depends on can move during a bare run (no tag writes and no
+		// syscalls, hence no page flips and no source-epoch advance);
+		// only the footprint *pages* may differ now that the registers
+		// moved, which is exactly what re-probing checks. Fusing only
+		// under a positive budget keeps Step's contract with unbounded
+		// callers: one trace entry per call. Every run retires at least
+		// one instruction, so the budget strictly decreases.
+		for budget > 0 && ex.fault == nil && ex.eip == tr.head.key.addr {
+			rem := budget - int(ex.steps)
+			if rem < tr.blocks[0].instrs || !h.cleanProbeTrace(c, tr) {
+				break
+			}
+			nx, _ := h.runTraceBare(c, tr, rem, len(tr.mops))
+			nx.steps += ex.steps
+			nx.nData += ex.nData
+			nx.nBlocks += ex.nBlocks
+			if nx.lastB == nil {
+				nx.lastB = ex.lastB
+			}
+			ex = nx
+		}
+		return h.finishTrace(c, tr, ex, false, 0, entVals, true)
+	}
 	if tr.gateOK {
 		for k := 0; k < tr.nIn; k++ {
 			entVals[k] = c.Regs[tr.inRegs[k]]
@@ -673,23 +721,27 @@ func (h *Harrier) runTrace(c *isa.CPU, tr *blockTrace, budget int) error {
 					ex.lastB = bareLast
 				}
 			}
-			return h.finishTrace(c, tr, ex, false, 0, entVals)
+			return h.finishTrace(c, tr, ex, false, 0, entVals, false)
 		}
 		verify = true
 	}
 	ex := h.runTraceTaint(c, tr, budget, 0, verify)
-	return h.finishTrace(c, tr, ex, verify, entGen, entVals)
+	return h.finishTrace(c, tr, ex, verify, entGen, entVals, false)
 }
 
 // finishTrace applies the exit protocol: architectural exit point,
 // retired-step accounting, the batched instrumented-instruction
 // counter with its sampling boundary, and — for a clean verify run —
 // installation of a gate entry.
-func (h *Harrier) finishTrace(c *isa.CPU, tr *blockTrace, ex traceExit, verify bool, entGen uint64, entVals [traceGateRegs]uint32) error {
+func (h *Harrier) finishTrace(c *isa.CPU, tr *blockTrace, ex traceExit, verify bool, entGen uint64, entVals [traceGateRegs]uint32, clean bool) error {
 	c.ExitTrace(ex.eip, ex.jumped)
 	c.Steps += uint64(ex.steps)
 	h.stats.Blocks += uint64(ex.nBlocks)
-	h.stats.TraceHits += uint64(ex.nBlocks)
+	if clean {
+		h.stats.CleanHits += uint64(ex.nBlocks)
+	} else {
+		h.stats.TraceHits += uint64(ex.nBlocks)
+	}
 	if b := ex.lastB; b != nil && b.isApp {
 		// Write-behind app attribution, batched to one update per run:
 		// no observation point exists inside a trace (a syscall ends it
@@ -856,7 +908,7 @@ func (h *Harrier) runTraceTaint(c *isa.CPU, tr *blockTrace, budget, start int, v
 	zf, lt := c.ZF, c.LT
 	dirty := false
 	observed := h.prov != nil || h.bus != nil
-	var nBlocks uint16
+	var nBlocks uint32
 	var lastB *traceBlock
 	defer func() { ex.nBlocks, ex.lastB = nBlocks, lastB }()
 	mops, info := tr.mops, tr.info
@@ -869,7 +921,7 @@ func (h *Harrier) runTraceTaint(c *isa.CPU, tr *blockTrace, budget, start int, v
 				c.ZF, c.LT = zf, lt
 				return traceExit{
 					eip: info[j].addr, jumped: b.entryJumped,
-					steps: info[j].steps, nData: info[j].nData,
+					steps: uint32(info[j].steps), nData: uint32(info[j].nData),
 					end: j, dirty: dirty,
 				}
 			}
@@ -890,7 +942,7 @@ func (h *Harrier) runTraceTaint(c *isa.CPU, tr *blockTrace, budget, start int, v
 				c.ZF, c.LT = zf, lt
 				return traceExit{
 					eip: eip, jumped: true,
-					steps: info[j].steps, nData: info[j].nData,
+					steps: uint32(info[j].steps), nData: uint32(info[j].nData),
 					end: j + 1, dirty: dirty,
 				}
 			}
@@ -1148,7 +1200,7 @@ func (h *Harrier) runTraceTaint(c *isa.CPU, tr *blockTrace, budget, start int, v
 	c.ZF, c.LT = zf, lt
 	return traceExit{
 		eip: tr.endEIP, jumped: tr.endJumped,
-		steps: tr.nInstr, nData: tr.nData,
+		steps: uint32(tr.nInstr), nData: uint32(tr.nData),
 		end: len(mops), dirty: dirty,
 	}
 }
@@ -1160,7 +1212,7 @@ func (h *Harrier) runTraceTaint(c *isa.CPU, tr *blockTrace, budget, start int, v
 func traceFault(info []mopInfo, j int, dirty bool) traceExit {
 	return traceExit{
 		eip: info[j].addr, jumped: false,
-		steps: info[j].steps, nData: info[j].nData, dirty: dirty,
+		steps: uint32(info[j].steps), nData: uint32(info[j].nData), dirty: dirty,
 		fault: &isa.Fault{PC: info[j].addr, Reason: "division by zero"},
 	}
 }
@@ -1187,7 +1239,7 @@ func (h *Harrier) runTraceBare(c *isa.CPU, tr *blockTrace, budget, end int) (ex 
 	mem := c.Mem
 	zf, lt := c.ZF, c.LT
 	observed := h.prov != nil || h.bus != nil
-	var nBlocks uint16
+	var nBlocks uint32
 	var lastB *traceBlock
 	defer func() { ex.nBlocks, ex.lastB = nBlocks, lastB }()
 	mops, info := tr.mops, tr.info
@@ -1206,7 +1258,7 @@ func (h *Harrier) runTraceBare(c *isa.CPU, tr *blockTrace, budget, end int) (ex 
 				c.ZF, c.LT = zf, lt
 				return traceExit{
 					eip: info[j].addr, jumped: b.entryJumped,
-					steps: info[j].steps, nData: info[j].nData, end: j,
+					steps: uint32(info[j].steps), nData: uint32(info[j].nData), end: j,
 				}, -1
 			}
 			*b.ctr++
@@ -1226,7 +1278,7 @@ func (h *Harrier) runTraceBare(c *isa.CPU, tr *blockTrace, budget, end int) (ex 
 				c.ZF, c.LT = zf, lt
 				return traceExit{
 					eip: eip, jumped: true,
-					steps: info[j].steps, nData: info[j].nData, end: j + 1,
+					steps: uint32(info[j].steps), nData: uint32(info[j].nData), end: j + 1,
 				}, -1
 			}
 
@@ -1382,6 +1434,6 @@ func (h *Harrier) runTraceBare(c *isa.CPU, tr *blockTrace, budget, end int) (ex 
 	c.ZF, c.LT = zf, lt
 	return traceExit{
 		eip: tr.endEIP, jumped: tr.endJumped,
-		steps: tr.nInstr, nData: tr.nData, end: len(mops),
+		steps: uint32(tr.nInstr), nData: uint32(tr.nData), end: len(mops),
 	}, -1
 }

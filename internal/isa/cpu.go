@@ -56,6 +56,14 @@ const (
 	// immediately without fetching — the accompanying error, if any,
 	// is the guest fault the trace stopped on.
 	SummaryTrace
+	// SummaryClean accepts the block on the uninstrumented tier: the
+	// hook *proved* the block's whole dataflow transfer is a no-op
+	// against the current taint state (clean footprint, no live
+	// register tags to move), so it applied nothing at all. The fetch
+	// loop runs the block with concrete semantics only — OnBB/OnInstr
+	// stay suppressed exactly as for SummaryBlock, but no shadow
+	// lookup, tag union, or transfer ever happened for the block.
+	SummaryClean
 )
 
 // Hooks are the instrumentation points Harrier attaches to; all are
@@ -298,7 +306,11 @@ func (c *CPU) Step() error {
 			if sum := span.summaries[idx]; sum != nil {
 				act, terr := c.Hooks.OnBBSummary(c, span, idx, sum)
 				switch act {
-				case SummaryBlock:
+				case SummaryBlock, SummaryClean:
+					// Both cover the whole block — SummaryBlock because
+					// the hook applied its transfer up front, SummaryClean
+					// because the hook proved there is no transfer. Either
+					// way the block executes concretely, hooks suppressed.
 					c.inSummary = true
 				case SummaryTrace:
 					// The hook executed instructions itself: EIP, Steps,

@@ -8,20 +8,28 @@ import "encoding/binary"
 //
 // The hot paths mirror taint.Shadow's: 32-bit accesses that stay
 // inside one page are a single page lookup plus one 4-byte move, and
-// a one-entry page cache (software TLB) short-circuits the page map
-// for the local access streams the §9 benchmarks show.
+// a small software TLB short-circuits the page map for the local
+// access streams the §9 benchmarks show.
 type Memory struct {
 	pages map[uint32]*memPage
 
-	// Software TLB: the last page hit. tlbPage == nil means empty.
-	tlbIdx  uint32
-	tlbPage *memPage
+	// Software TLB, direct-mapped by the low page-index bits: a copy
+	// kernel alternating between a source and a destination page — the
+	// dominant §9 access shape — keeps both resident instead of
+	// evicting one with every access. A nil page marks an empty slot.
+	tlb [memTLBWays]memTLBEnt
+}
+
+type memTLBEnt struct {
+	idx  uint32
+	page *memPage
 }
 
 const (
 	memPageShift = 12
 	memPageSize  = 1 << memPageShift
 	memPageMask  = memPageSize - 1
+	memTLBWays   = 4 // direct-mapped slots; must be a power of two
 )
 
 type memPage struct {
@@ -36,12 +44,13 @@ func NewMemory() *Memory {
 // page resolves a page index through the TLB, returning nil when the
 // page is unallocated.
 func (m *Memory) page(idx uint32) *memPage {
-	if m.tlbPage != nil && m.tlbIdx == idx {
-		return m.tlbPage
+	e := &m.tlb[idx&(memTLBWays-1)]
+	if e.page != nil && e.idx == idx {
+		return e.page
 	}
 	p := m.pages[idx]
 	if p != nil {
-		m.tlbIdx, m.tlbPage = idx, p
+		e.idx, e.page = idx, p
 	}
 	return p
 }
@@ -53,7 +62,8 @@ func (m *Memory) pageAlloc(idx uint32) *memPage {
 	}
 	p := &memPage{}
 	m.pages[idx] = p
-	m.tlbIdx, m.tlbPage = idx, p
+	e := &m.tlb[idx&(memTLBWays-1)]
+	e.idx, e.page = idx, p
 	return p
 }
 
@@ -88,11 +98,19 @@ func (m *Memory) Load32(addr uint32) uint32 {
 		uint32(m.Load8(addr+3))<<24
 }
 
-// Store32 writes a little-endian 32-bit word.
+// Store32 writes a little-endian 32-bit word. The TLB probe is open-
+// coded so the resident-page fast path — every store of a hot loop
+// after the first — stays a single inlinable branch, not a call chain
+// through pageAlloc.
 func (m *Memory) Store32(addr uint32, v uint32) {
 	off := addr & memPageMask
 	if off <= memPageSize-4 {
-		p := m.pageAlloc(addr >> memPageShift)
+		idx := addr >> memPageShift
+		e := &m.tlb[idx&(memTLBWays-1)]
+		p := e.page
+		if p == nil || e.idx != idx {
+			p = m.pageAlloc(idx)
+		}
 		binary.LittleEndian.PutUint32(p.data[off:off+4], v)
 		return
 	}
@@ -184,7 +202,7 @@ func (m *Memory) Clone() *Memory {
 // Reset drops all pages (execve()).
 func (m *Memory) Reset() {
 	m.pages = make(map[uint32]*memPage)
-	m.tlbPage = nil
+	m.tlb = [memTLBWays]memTLBEnt{}
 }
 
 // Pages returns the number of resident pages.

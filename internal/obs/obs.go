@@ -134,6 +134,13 @@ const (
 	// tools use to tell summary promotions (bb.promote) from trace
 	// promotions.
 	KindBBTrace
+	// KindBBClean is a compiled block or trace demoting onto the
+	// uninstrumented clean tier: its dataflow transfer was proved a
+	// no-op against the current taint state, so entries run with
+	// concrete semantics only until taint reaches their footprint.
+	// Num = block/trace leader address, Num2 = footprint page count,
+	// Str = owning image.
+	KindBBClean
 	// KindTaintSample is a periodic snapshot of the taint substrate,
 	// published every sample quantum of instrumented instructions.
 	// Num = union operations, Num2 = union-cache hits, Str2 unused.
@@ -200,6 +207,7 @@ var kindNames = [numKinds]string{
 	KindBBRoll:       "bb.roll",
 	KindBBPromote:    "bb.promote",
 	KindBBTrace:      "bb.trace",
+	KindBBClean:      "bb.clean",
 	KindTaintSample:  "taint.sample",
 	KindTaintTLB:     "taint.tlb",
 	KindRuleFire:     "rule.fire",

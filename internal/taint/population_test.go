@@ -108,3 +108,72 @@ func TestShadowSourceAfterCachedNil(t *testing.T) {
 		t.Fatalf("SetWord after cached-nil lookup = %d, want %d", got, tag)
 	}
 }
+
+// TestShadowPageFlipSeam pins down the clean tier's invalidation seam
+// on top of the cached-nil regression above: a verdict cached while a
+// page's population is zero is only sound until that page flips
+// zero→nonzero, so FlipGen must advance — and the OnPageFlip listener
+// must fire, synchronously and with the right page index — on exactly
+// those transitions and on nothing else.
+func TestShadowPageFlipSeam(t *testing.T) {
+	st, sh := newTestShadow()
+	tag := st.Of(Source{Socket, "attacker:6666"})
+	tag2 := st.Of(Source{File, "f"})
+
+	var flips []uint32
+	sh.OnPageFlip(func(idx uint32) { flips = append(flips, idx) })
+
+	// The clean-tier sequence: probe the page (population zero, verdict
+	// cacheable), then a source lands on it.
+	if !sh.PageClean(0x3) || sh.GetWord(0x3000) != Empty {
+		t.Fatal("fresh page not clean")
+	}
+	g := sh.FlipGen()
+	sh.SetRange(0x3000, 8, tag)
+	if sh.FlipGen() == g {
+		t.Fatal("zero->nonzero population did not advance FlipGen")
+	}
+	if len(flips) != 1 || flips[0] != 0x3 {
+		t.Fatalf("flip listener saw %v, want [0x3]", flips)
+	}
+	if sh.PageClean(0x3) {
+		t.Fatal("tainted page still reports clean")
+	}
+
+	// Writes confined to an already-dirty page move Gen but are not
+	// flips: the cached verdict was already dead.
+	g = sh.FlipGen()
+	sh.Set(0x3100, tag2)
+	if sh.FlipGen() != g || len(flips) != 1 {
+		t.Fatalf("dirty-page write flipped: gen %d->%d, flips %v", g, sh.FlipGen(), flips)
+	}
+
+	// Draining the page back to zero is not a flip either (clean
+	// verdicts can only be invalidated by taint arriving, never by it
+	// leaving) — but the *next* zero->nonzero transition must fire
+	// again, or a verdict cached in the clean window would go stale.
+	sh.ClearRange(0x3000, 0x1000)
+	if !sh.PageClean(0x3) || sh.FlipGen() != g || len(flips) != 1 {
+		t.Fatalf("drain misbehaved: clean=%v flips=%v", sh.PageClean(0x3), flips)
+	}
+	sh.Set(0x3000, tag)
+	if sh.FlipGen() == g || len(flips) != 2 || flips[1] != 0x3 {
+		t.Fatalf("re-flip not seen: gen %d->%d flips %v", g, sh.FlipGen(), flips)
+	}
+
+	// Reset (execve) bumps the flip generation wholesale, and a clone
+	// (fork) carries the generation but not the parent's listener.
+	cl := sh.Clone()
+	if cl.FlipGen() != sh.FlipGen() {
+		t.Fatalf("clone flip gen %d, want %d", cl.FlipGen(), sh.FlipGen())
+	}
+	cl.Set(0x9000, tag)
+	if len(flips) != 2 {
+		t.Fatal("clone write fired the parent's listener")
+	}
+	g = sh.FlipGen()
+	sh.Reset()
+	if sh.FlipGen() == g {
+		t.Fatal("Reset did not advance FlipGen")
+	}
+}

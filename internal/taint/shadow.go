@@ -50,6 +50,17 @@ type Shadow struct {
 	// preserves it (a word-mode tag counts as its four bytes).
 	gen uint64
 	pop int64
+
+	// Page-flip seam for the clean tier (see harrier/cleantier.go):
+	// flipGen advances every time any page's tainted-byte population
+	// crosses zero→nonzero — the only event that can turn a
+	// previously-clean footprint dirty — generalizing the negative-TLB
+	// invalidation. A cached "these pages are clean" verdict keyed on
+	// an unchanged flipGen needs no per-page re-probe. onFlip, when
+	// installed, fires synchronously on the same transition with the
+	// flipping page's index, before the write's caller regains control.
+	flipGen uint64
+	onFlip  func(idx uint32)
 }
 
 const (
@@ -65,6 +76,13 @@ const (
 type shadowPage struct {
 	words [pageWords]Tag
 	bytes *[pageSize]Tag
+
+	// idx is the page's own index in the owning shadow's page table;
+	// pop counts the page's tainted bytes (the per-page slice of
+	// Shadow.pop). Together they let writes detect the zero→nonzero
+	// flip locally and report which page flipped.
+	idx uint32
+	pop int32
 }
 
 // degrade switches the page to byte mode, expanding each word tag to
@@ -109,8 +127,13 @@ func (p *shadowPage) setByte(sh *Shadow, off uint32, t Tag) {
 	sh.gen++
 	if old == Empty {
 		sh.pop++
+		p.pop++
+		if p.pop == 1 {
+			sh.pageFlipped(p)
+		}
 	} else if t == Empty {
 		sh.pop--
+		p.pop--
 	}
 	p.bytes[off] = t
 }
@@ -125,10 +148,25 @@ func (p *shadowPage) setWordSlot(sh *Shadow, w uint32, t Tag) {
 	sh.gen++
 	if old == Empty {
 		sh.pop += 4
+		p.pop += 4
+		if p.pop == 4 {
+			sh.pageFlipped(p)
+		}
 	} else if t == Empty {
 		sh.pop -= 4
+		p.pop -= 4
 	}
 	p.words[w] = t
+}
+
+// pageFlipped records that p's tainted-byte population just crossed
+// zero→nonzero: the flip generation advances and the installed
+// listener (if any) hears which page went dirty.
+func (sh *Shadow) pageFlipped(p *shadowPage) {
+	sh.flipGen++
+	if sh.onFlip != nil {
+		sh.onFlip(p.idx)
+	}
 }
 
 // NewShadow returns an empty shadow map backed by the given store.
@@ -163,7 +201,7 @@ func (sh *Shadow) pageAlloc(idx uint32) *shadowPage {
 	if p := sh.page(idx); p != nil {
 		return p
 	}
-	p := &shadowPage{}
+	p := &shadowPage{idx: idx}
 	sh.pages[idx] = p
 	sh.tlbIdx, sh.tlbPage, sh.tlbValid = idx, p, true
 	return p
@@ -352,7 +390,7 @@ func (sh *Shadow) Copy(dst, src, n uint32) {
 func (sh *Shadow) Clone() *Shadow {
 	out := NewShadow(sh.store)
 	for idx, p := range sh.pages {
-		cp := &shadowPage{words: p.words}
+		cp := &shadowPage{words: p.words, idx: p.idx, pop: p.pop}
 		if p.bytes != nil {
 			b := *p.bytes
 			cp.bytes = &b
@@ -361,6 +399,7 @@ func (sh *Shadow) Clone() *Shadow {
 	}
 	out.gen = sh.gen
 	out.pop = sh.pop
+	out.flipGen = sh.flipGen
 	return out
 }
 
@@ -377,6 +416,10 @@ func (sh *Shadow) Reset() {
 	sh.tlbPage, sh.tlbValid = nil, false
 	sh.gen++ // the observable tag state changed wholesale
 	sh.pop = 0
+	// Belt and braces: dropping every page can only make pages cleaner,
+	// but bumping the flip generation forces cached clean verdicts to
+	// re-probe rather than reason about the wholesale replacement.
+	sh.flipGen++
 }
 
 // Gen returns the shadow's write generation: it advances exactly when
@@ -395,6 +438,31 @@ func (sh *Shadow) Taintless() bool { return sh.pop == 0 }
 
 // Pages returns the number of shadow pages currently allocated.
 func (sh *Shadow) Pages() int { return len(sh.pages) }
+
+// FlipGen returns the page-flip generation: it advances exactly when
+// some page's tainted population crosses zero→nonzero (and on Reset).
+// Two equal FlipGen readings bracket a window in which no clean page
+// became dirty, so a clean-footprint verdict taken at the first
+// reading still holds at the second. Compare with Gen, which also
+// moves on writes confined to already-dirty pages.
+func (sh *Shadow) FlipGen() uint64 { return sh.flipGen }
+
+// PageClean reports whether the 4 KiB page with index idx (addr >>
+// 12) holds no tainted byte. It deliberately bypasses the one-entry
+// TLB: clean-tier probes would otherwise thrash the cached entry the
+// guest's own loads and stores are using, and charge their misses to
+// the TLB effectiveness counters.
+func (sh *Shadow) PageClean(idx uint32) bool {
+	p := sh.pages[idx]
+	return p == nil || p.pop == 0
+}
+
+// OnPageFlip installs fn as the page-flip listener: it fires
+// synchronously whenever a page's tainted population crosses
+// zero→nonzero, with the flipping page's index, before control
+// returns to the writer. One listener; nil uninstalls. The clean tier
+// uses it to flush demoted blocks before the next block boundary.
+func (sh *Shadow) OnPageFlip(fn func(idx uint32)) { sh.onFlip = fn }
 
 // bytePages returns how many allocated pages have degraded to byte
 // mode (exposed for tests and stats).

@@ -418,6 +418,17 @@ func (os *OS) SetMaxSteps(n uint64) {
 	}
 }
 
+// SetStepsPerSlice adjusts the scheduler quantum for subsequent Run
+// calls. Throughput-oriented callers (the §9 perf benches) raise it so
+// per-slice dispatch overhead — and the interpreted tail of a slice
+// too short to fit a compiled trace — amortizes over more guest work;
+// interactive fairness wants it low, batch throughput wants it high.
+func (os *OS) SetStepsPerSlice(n int) {
+	if n > 0 {
+		os.opts.StepsPerSlice = n
+	}
+}
+
 // SetDeadline adjusts the wall-clock budget of subsequent Run calls
 // (0 disables it).
 func (os *OS) SetDeadline(d time.Duration) { os.opts.Deadline = d }

@@ -132,6 +132,19 @@ func WithTraceThreshold(n int) Option {
 	return func(c *Config) { c.Monitor.TraceThreshold = n }
 }
 
+// WithCleanTier sets the demotion threshold of the clean tier, the
+// fourth execution tier: a compiled block or trace whose counter
+// reaches n and whose entire memory footprint resolves to taint-free
+// shadow pages is proven to transfer nothing and runs uninstrumented —
+// no shadow lookups, no tag unions, no per-instruction hooks. Taint
+// arriving at a footprint page (a zero→nonzero shadow page flip, or a
+// taint-source syscall) re-instruments affected blocks before their
+// next entry, so detections are bit-identical with the tier on or off;
+// only throughput changes. Zero disables the tier.
+func WithCleanTier(n int) Option {
+	return func(c *Config) { c.Monitor.CleanThreshold = n }
+}
+
 // WithObserver attaches one or more observers to the run's event bus.
 // Repeated uses accumulate.
 func WithObserver(sinks ...Observer) Option {

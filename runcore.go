@@ -282,6 +282,9 @@ func (rc *runCore) publishRunEnd(runErr error, wall time.Duration) {
 			{"harrier.trace.hits", st.TraceHits},
 			{"harrier.trace.side_exits", st.TraceSideExits},
 			{"harrier.gate.skips", st.GateSkips},
+			{"harrier.clean.hits", st.CleanHits},
+			{"harrier.clean.demoted", st.CleanDemoted},
+			{"harrier.clean.reinstrumented", st.Reinstrumented},
 		} {
 			rc.bus.Publish(obs.Event{
 				Layer: obs.LayerRun, Kind: obs.KindMetric,

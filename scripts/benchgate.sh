@@ -25,6 +25,10 @@
 #   HTH_BENCHGATE_MAXALLOCS  allocs/op ceiling (default 500)
 #   HTH_BENCHGATE_RUNS       benchmark repetitions; best wins (default 3)
 #   HTH_BENCHGATE_BENCHTIME  go test -benchtime per run (default 1s)
+#   HTH_BENCHGATE_SPARSE_FLOOR  guest-instrs/s floor for the sparse-
+#                            taint (clean tier) benchmark (default: the
+#                            benchgate.sparse_instrs_per_sec_floor value
+#                            of the newest BENCH_*.json; absent = skip)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,9 +38,9 @@ maxallocs=${HTH_BENCHGATE_MAXALLOCS:-500}
 runs=${HTH_BENCHGATE_RUNS:-3}
 benchtime=${HTH_BENCHGATE_BENCHTIME:-1s}
 
+newest=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)
 baseline=${HTH_BENCHGATE_BASELINE:-}
 if [ -z "$baseline" ]; then
-    newest=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)
     if [ -z "$newest" ]; then
         echo "benchgate: no BENCH_*.json baseline found; set HTH_BENCHGATE_BASELINE" >&2
         exit 1
@@ -82,4 +86,43 @@ echo "$out" | awk -v best=0 -v allocs=0 -v base="$baseline" -v tol="$tolerance" 
             exit 1
         }
         print "benchgate: OK"
+    }'
+
+# Clean-tier floor: the sparse-taint workload (taint present but never
+# in the hot loop's footprint) must keep its partial-instrumentation
+# speedup. The floor sits above trace-tier-only throughput on the
+# recording host, so a clean tier that silently stops demoting — or a
+# re-instrumentation seam that flushes verdicts every block — fails the
+# gate even under shared-host jitter.
+sparsefloor=${HTH_BENCHGATE_SPARSE_FLOOR:-}
+if [ -z "$sparsefloor" ] && [ -n "$newest" ]; then
+    sparsefloor=$(sed -n 's/.*"sparse_instrs_per_sec_floor": *\([0-9][0-9]*\).*/\1/p' "$newest" | head -n 1)
+fi
+if [ -z "$sparsefloor" ]; then
+    echo "benchgate: no sparse_instrs_per_sec_floor recorded; skipping clean-tier floor"
+    exit 0
+fi
+echo "benchgate: sparse floor $sparsefloor guest-instrs/s"
+
+sout=$(go test -run '^$' -bench 'BenchmarkPerfMemSparseTaint$' \
+    -benchtime "$benchtime" -count "$runs" .)
+echo "$sout"
+
+echo "$sout" | awk -v best=0 -v floor="$sparsefloor" '
+    / guest-instrs\/s/ {
+        for (i = 1; i < NF; i++)
+            if ($(i + 1) == "guest-instrs/s" && $i + 0 > best)
+                best = $i + 0
+    }
+    END {
+        if (best == 0) {
+            print "benchgate: no guest-instrs/s metric in sparse benchmark output"
+            exit 1
+        }
+        printf "benchgate: sparse best %.0f guest-instrs/s (floor %.0f)\n", best, floor
+        if (best < floor) {
+            print "benchgate: FAIL — clean tier lost its sparse-taint speedup"
+            exit 1
+        }
+        print "benchgate: sparse OK"
     }'

@@ -36,6 +36,11 @@ go test -fuzz=FuzzChaos -fuzztime=10s ./internal/chaos
 # oracle gets a fuzz smoke beyond its checked-in corpus.
 go test -run TestTraceDifferentialSweep -count=1 ./internal/corpus
 go test -fuzz=FuzzTraceApply -fuzztime=10s ./internal/harrier
+# Clean-tier gates: the corpus must be bit-identical with the clean
+# tier off and on, the page-flip re-instrumentation seam holds under
+# the chaos-delayed recv regression, and the mid-run taint-injection
+# oracle gets a fuzz smoke (see Makefile `clean-tier`).
+make clean-tier
 # ELF frontend gate: fixture scenarios, symbolized-provenance goldens,
 # decoder/pinned-layout units, the InstallSource equivalence sweep,
 # and a fuzz smoke over the ELF parser (see Makefile `elf`).

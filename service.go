@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/harrier"
 	"repro/internal/image"
 	"repro/internal/obs"
 	"repro/internal/pool"
@@ -75,7 +76,8 @@ type shard struct {
 	pool *pool.Pool
 
 	mu     sync.Mutex
-	streak int // consecutive worker recycles without a completed job
+	streak int     // consecutive worker recycles without a completed job
+	mix    TierMix // tier mix accumulated over this shard's done jobs
 }
 
 // ServiceConfig sizes the service and its failure policy. The zero
@@ -317,6 +319,9 @@ type JobResult struct {
 	// identity against a batch run is one string compare.
 	WarnHash   string `json:"warn_hash,omitempty"`
 	TotalSteps uint64 `json:"total_steps,omitempty"`
+	// TierMix is the run's execution-tier block-entry mix (nil for
+	// failed/aborted jobs and for unmonitored runs).
+	TierMix *TierMix `json:"tier_mix,omitempty"`
 	// Shed is the degradation tier the job was admitted at.
 	Shed int `json:"shed,omitempty"`
 	// Attempts counts executions (1 unless worker crashes forced
@@ -334,6 +339,44 @@ type JobResult struct {
 	// Raw is the full monitored result for in-process embedders (nil
 	// for failed/aborted jobs; never serialized).
 	Raw *Result `json:"-"`
+}
+
+// TierMix is the execution-tier mix of a monitored run: how many
+// block entries each tier of the taint engine served. The four shares
+// partition Blocks — every entry is credited to exactly one tier — so
+// fleet views can aggregate mixes by plain addition. Reinstrumented
+// counts clean-tier verdicts flushed because taint reached their
+// footprint (not a block share, but the clean tier's safety valve, so
+// it travels with the mix).
+type TierMix struct {
+	Blocks         uint64 `json:"blocks"`
+	Interp         uint64 `json:"interp"`
+	Summary        uint64 `json:"summary"`
+	Trace          uint64 `json:"trace"`
+	Clean          uint64 `json:"clean"`
+	Reinstrumented uint64 `json:"reinstrumented,omitempty"`
+}
+
+// tierMixOf derives the mix from a run's monitor statistics.
+func tierMixOf(st harrier.Stats) TierMix {
+	return TierMix{
+		Blocks:         st.Blocks,
+		Interp:         st.Blocks - st.TierHits - st.TraceHits - st.CleanHits,
+		Summary:        st.TierHits,
+		Trace:          st.TraceHits,
+		Clean:          st.CleanHits,
+		Reinstrumented: st.Reinstrumented,
+	}
+}
+
+// add accumulates another run's mix (fleet aggregation).
+func (m *TierMix) add(o TierMix) {
+	m.Blocks += o.Blocks
+	m.Interp += o.Interp
+	m.Summary += o.Summary
+	m.Trace += o.Trace
+	m.Clean += o.Clean
+	m.Reinstrumented += o.Reinstrumented
 }
 
 // JobUpdate is one live stream record for a job submitted with
@@ -844,6 +887,10 @@ func (s *Service) finish(j *job, res *Result, err error, wall time.Duration) {
 		r.Raw = res
 		r.Outcome = runOutcome(res.RunErr)
 		r.TotalSteps = res.TotalSteps
+		if res.Stats.Blocks > 0 {
+			mix := tierMixOf(res.Stats)
+			r.TierMix = &mix
+		}
 		r.Verdict = "clean"
 		if sev, warned := res.MaxSeverity(); warned {
 			r.Verdict = sev.String()
@@ -896,6 +943,9 @@ func (s *Service) complete(j *job, r *JobResult, code string) bool {
 		// shard's workers are alive again.
 		sh.mu.Lock()
 		sh.streak = 0
+		if r.TierMix != nil {
+			sh.mix.add(*r.TierMix)
+		}
 		sh.mu.Unlock()
 	}
 	s.mu.Lock()
@@ -1007,12 +1057,18 @@ type ShardHealth struct {
 	Recycled uint64  `json:"recycled"`
 	Streak   int     `json:"recycle_streak"`
 	Fill     float64 `json:"fill_percent"`
+	// TierMix aggregates the execution-tier mix over this shard's
+	// completed jobs since the service started.
+	TierMix TierMix `json:"tier_mix"`
 }
 
 // ServiceHealth is the /healthz snapshot.
 type ServiceHealth struct {
 	Draining bool          `json:"draining"`
 	Shards   []ShardHealth `json:"shards"`
+	// TierMix is the fleet-wide aggregate of the per-shard mixes: what
+	// fraction of all block entries the fleet served per tier.
+	TierMix TierMix `json:"tier_mix"`
 }
 
 // Health snapshots the service's live state.
@@ -1023,14 +1079,16 @@ func (s *Service) Health() ServiceHealth {
 	capacity := s.cfg.QueueDepth + s.cfg.WorkersPerShard
 	for _, sh := range s.shards {
 		sh.mu.Lock()
-		streak := sh.streak
+		streak, mix := sh.streak, sh.mix
 		sh.mu.Unlock()
 		q, inf := sh.pool.Queued(), sh.pool.InFlight()
 		hs.Shards = append(hs.Shards, ShardHealth{
 			Shard: sh.id, Queued: q, InFlight: inf,
 			Recycled: sh.pool.Recycled(), Streak: streak,
-			Fill: float64((q+inf)*100) / float64(capacity),
+			Fill:    float64((q+inf)*100) / float64(capacity),
+			TierMix: mix,
 		})
+		hs.TierMix.add(mix)
 	}
 	return hs
 }

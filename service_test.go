@@ -92,6 +92,19 @@ func TestServiceMatchesBatchRun(t *testing.T) {
 	if res.Attempts != 1 || res.Shed != hth.ShedNone {
 		t.Errorf("attempts/shed = %d/%d", res.Attempts, res.Shed)
 	}
+	// The per-job tier mix must partition the batch run's block count,
+	// and the fleet health view must aggregate it.
+	if res.TierMix == nil {
+		t.Fatal("done job carries no tier mix")
+	}
+	m := *res.TierMix
+	if m.Blocks != batch.Stats.Blocks ||
+		m.Interp+m.Summary+m.Trace+m.Clean != m.Blocks {
+		t.Errorf("tier mix %+v does not partition %d blocks", m, batch.Stats.Blocks)
+	}
+	if hm := s.Health().TierMix; hm != m {
+		t.Errorf("health tier mix %+v, want the single job's %+v", hm, m)
+	}
 }
 
 // gateSpec returns a spec whose Setup blocks on release, pinning a
