@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check test bench tables chaos trace benchgate serve soak elf clean-tier
+.PHONY: check test bench tables chaos trace benchgate serve soak elf clean-tier spans
 
 # The full pre-merge gate: vet + build + tests + race-detector pass
 # over the parallel corpus runner + seeded chaos sweep + fuzz smoke.
@@ -54,6 +54,18 @@ clean-tier:
 	$(GO) test -count=1 -run 'TestCleanTierDifferentialSweep|TestCleanTierReinstrumentOnDelayedRecv' ./internal/corpus
 	$(GO) test -count=1 -run 'TestShadowSourceAfterCachedNil|TestShadowPageFlipSeam' ./internal/taint
 	$(GO) test -fuzz=FuzzCleanReinstrument -fuzztime=10s ./internal/harrier
+
+# The span-tracing gate: the hth-trace span/summary goldens, the
+# Prometheus latency-histogram golden, the span-recorder stress test
+# under the race detector, the service span-lifecycle suite, and the
+# spans-off/on corpus differential sweep (span recording must be
+# provably inert).
+spans:
+	$(GO) test -count=1 -run 'TestReplaySummaryGolden|TestReplaySpansChrome' ./cmd/hth-trace
+	$(GO) test -count=1 -run 'TestPrometheusLatencyGolden|TestTenantCardinalityCap|TestSSEWedgedSubscriber' ./internal/obs
+	$(GO) test -race -count=1 -run 'TestSpanRecorder|TestTierTimer|TestLatency' ./internal/obs
+	$(GO) test -race -count=1 -run 'TestServiceJobSpanTree|TestServiceCrashRetrySpans|TestServiceDeadlineSpanStatus|TestServiceHealthLatencyRollups' .
+	$(GO) test -count=1 -run TestSpanDifferentialSweep ./internal/corpus
 
 # Run the evaluation tables with the live introspection server held
 # open on :8077 — curl /metrics, /events, or /flight while it runs;

@@ -10,6 +10,7 @@ import (
 
 	hth "repro"
 	"repro/internal/corpus"
+	"repro/internal/obs"
 )
 
 // serveReport is the "serve" section of BENCH_<date>.json: service
@@ -27,6 +28,10 @@ type serveReport struct {
 	// same counters batch mode reports per perf row, so serve-vs-batch
 	// tier behaviour is comparable inside one BENCH_<date>.json.
 	TierMix hth.TierMix `json:"tier_mix"`
+
+	// Latency is the per-stage p50/p95/p99 rollup (milliseconds) over
+	// all jobs, straight from the service's span-fed histograms.
+	Latency map[string]obs.LatencyRollup `json:"latency_ms,omitempty"`
 }
 
 // runServe benchmarks the analysis service against the batch sweep:
@@ -98,11 +103,13 @@ func runServe(parallel int, jsonOut bool) int {
 			fmt.Printf("SIGNATURE DRIFT\n  batch:   %s\n  service: %s\n", batch[i], service[i])
 		}
 	}
+	health := svc.Health()
 	rep := serveReport{
 		Jobs: len(scs), Shards: shards, Workers: workers,
 		WallNS: wall.Nanoseconds(), JobsPerSec: float64(len(scs)) / wall.Seconds(),
 		Mismatches: mismatches, BatchWallNS: batchWall.Nanoseconds(),
-		TierMix: svc.Health().TierMix,
+		TierMix: health.TierMix,
+		Latency: health.Latency,
 	}
 	fmt.Printf("serve: %d jobs in %s (%.1f jobs/s, batch sweep %s); signature mismatches: %d\n",
 		rep.Jobs, wall.Round(time.Millisecond), rep.JobsPerSec,
@@ -110,6 +117,12 @@ func runServe(parallel int, jsonOut bool) int {
 	fmt.Printf("serve tier mix: %d blocks (interp %d, summary %d, trace %d, clean %d; reinstrumented %d)\n",
 		rep.TierMix.Blocks, rep.TierMix.Interp, rep.TierMix.Summary,
 		rep.TierMix.Trace, rep.TierMix.Clean, rep.TierMix.Reinstrumented)
+	for _, stage := range []string{"queue", "exec", "e2e"} {
+		if lr, ok := rep.Latency[stage]; ok {
+			fmt.Printf("serve latency %-5s p50 %.2fms  p95 %.2fms  p99 %.2fms  (n=%d)\n",
+				stage, lr.P50MS, lr.P95MS, lr.P99MS, lr.Count)
+		}
+	}
 
 	if jsonOut {
 		path := fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))

@@ -8,9 +8,11 @@
 //	          [-retries 2] [-drain 30s]
 //	          [-chaos-seed N -chaos-rate P]   # fault-storm soak mode
 //
-//	curl -s localhost:8077/healthz
+//	curl -s localhost:8077/healthz                  # incl. latency_ms rollups
 //	curl -s -X POST localhost:8077/jobs?wait=1 -d @job.json
+//	curl -s localhost:8077/jobs/j000001/trace > trace.json   # open in Perfetto
 //	curl -s localhost:8077/metrics | grep hth_jobs
+//	curl -s localhost:8077/metrics | grep hth_job_exec_seconds   # latency histograms
 package main
 
 import (

@@ -6,6 +6,12 @@
 //	hth-trace -in prog.s [-limit 200] [-taint] [-provenance] [-symbols] [-perfetto out.json] [arg ...]
 //	hth-trace -replay run.jsonl[.gz] [-layer vos] [-pid 1] [-kind syscall.enter] [-rule RULE]
 //	hth-trace -replay run.jsonl -summary
+//	hth-trace -replay run.jsonl -spans [-perfetto out.json]
+//
+// -summary on a span-bearing trace appends a per-job latency rollup
+// (queue/exec/total). -spans re-threads span.start/span.end events
+// into per-trace timelines and writes Chrome trace_event JSON for
+// Perfetto.
 package main
 
 import (
@@ -40,9 +46,16 @@ func main() {
 		pid       = flag.Int("pid", -1, "replay: only events for this guest pid")
 		rule      = flag.String("rule", "", "replay: only rule.fire/warning events for this rule")
 		summary   = flag.Bool("summary", false, "replay: print per-layer/kind/rule counts instead of events")
+		spans     = flag.Bool("spans", false, "replay: reconstruct lifecycle spans into Chrome trace_event JSON (to -perfetto path, else stdout)")
 	)
 	flag.Parse()
 	if *replayIn != "" {
+		if *spans {
+			if err := replaySpans(*replayIn, *perfetto); err != nil {
+				fatalf("%v", err)
+			}
+			return
+		}
 		pidStr := ""
 		if *pid >= 0 {
 			pidStr = strconv.Itoa(*pid)
@@ -51,7 +64,9 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		replay(*replayIn, &filter, *summary)
+		if err := replay(os.Stdout, *replayIn, &filter, *summary); err != nil {
+			fatalf("%v", err)
+		}
 		return
 	}
 	if *in == "" {

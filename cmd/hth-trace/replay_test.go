@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestReplaySummaryGolden replays a span-bearing JSONL fixture (two
+// service jobs — one retried — plus one batch run) and pins the full
+// -summary output, including the per-job latency rollup. The batch
+// "run" trace must not appear in the rollup.
+func TestReplaySummaryGolden(t *testing.T) {
+	filter, err := obs.ParseFilter("", "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := replay(&buf, filepath.Join("testdata", "spans.jsonl"), &filter, true); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "spans.summary.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("summary drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestReplaySpansChrome reconstructs the fixture's spans and checks the
+// Chrome trace_event export is valid JSON with one complete event per
+// span and one tid per trace.
+func TestReplaySpansChrome(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "spans.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	idx := newSpanIndex()
+	if err := obs.ReadJSONL(f, func(e obs.Event) error {
+		idx.add(e)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteChromeSpans(&buf, idx.byTrace(), idx.maxEnd); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TID  int     `json:"tid"`
+			Dur  float64 `json:"dur"`
+			Args struct {
+				Trace string `json:"trace"`
+			} `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid Chrome trace JSON: %v\n%s", err, buf.Bytes())
+	}
+	if got, want := len(doc.TraceEvents), 11; got != want {
+		t.Fatalf("got %d trace events, want %d", got, want)
+	}
+	tids := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q: phase %q, want X", ev.Name, ev.Ph)
+		}
+		if prev, ok := tids[ev.Args.Trace]; ok && prev != ev.TID {
+			t.Errorf("trace %q spread across tids %d and %d", ev.Args.Trace, prev, ev.TID)
+		}
+		tids[ev.Args.Trace] = ev.TID
+	}
+	if len(tids) != 3 {
+		t.Errorf("got %d distinct traces, want 3 (j000001, j000002, batch-1)", len(tids))
+	}
+}

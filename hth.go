@@ -114,6 +114,22 @@ type Config struct {
 	// /debug/pprof. The server stays up after the run until
 	// Result.Introspection.Shutdown. See WithIntrospection.
 	Introspect string
+	// Spans arms job-lifecycle span tracing: the run records a
+	// wall-clock span tree (load / instrument / execute / report, with
+	// per-tier time children under execute) into Result.Spans, and
+	// mirrors span.start/span.end events onto the bus when one is
+	// attached. Spans are a pure observer — detections, taint state,
+	// and the event stream's deterministic kinds are bit-identical
+	// with spans on or off — and a disabled recorder costs one
+	// nil-check per engine dispatch. See WithSpans.
+	Spans bool
+	// spanRec/spanParent let an embedding service graft this run's
+	// phase spans under its own job trace: the run publishes into the
+	// given recorder beneath spanParent instead of opening a root of
+	// its own. Internal plumbing for Service; zero values mean the run
+	// owns its trace.
+	spanRec    *obs.SpanRecorder
+	spanParent uint64
 	// Verbose, when set, receives Secpert's CLIPS-style fire trace
 	// and warning printout as the run progresses.
 	//
@@ -188,6 +204,11 @@ type Result struct {
 	// can be inspected post-mortem; the caller owns Shutdown (nil
 	// unless Config.Introspect).
 	Introspection *obs.Introspection
+	// Spans is the run's lifecycle span recorder (nil unless
+	// Config.Spans): the load/instrument/execute/report phase spans
+	// with per-tier time children under execute. Export with
+	// Spans.WriteChromeTrace.
+	Spans *obs.SpanRecorder
 	// ObserverErr is the first error an observer reported on Close —
 	// e.g. a JSONL sink whose writer failed mid-run (nil when clean).
 	ObserverErr error

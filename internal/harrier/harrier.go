@@ -219,6 +219,7 @@ type Harrier struct {
 
 	stats Stats
 	bus   *obs.Bus
+	tt    *obs.TierTimer
 
 	// Provenance recording (see provenance.go): the attached recorder
 	// and the tag → provenance-ID resolution cache. Both nil/empty
@@ -264,6 +265,13 @@ func (h *Harrier) Secpert() *secpert.Secpert { return h.sec }
 // SetBus attaches the observability bus. BB counter rollovers and
 // periodic taint-substrate samples publish into it.
 func (h *Harrier) SetBus(b *obs.Bus) { h.bus = b }
+
+// SetTierTimer attaches the per-tier execution-time attributor. Every
+// block dispatch touches the timer with the tier that served it; the
+// timer samples the clock only on tier transitions, so a run that
+// settles on one tier pays one integer compare per dispatch — and a
+// run without a timer pays one nil-check.
+func (h *Harrier) SetTierTimer(t *obs.TierTimer) { h.tt = t }
 
 // publishTaintSample emits the periodic taint-substrate snapshot: the
 // cumulative union/cache counters plus the executing shadow's TLB
@@ -388,6 +396,9 @@ func (h *Harrier) dropPID(pid int) {
 // needs a map write when it changes (appCache*).
 func (h *Harrier) collectBBFrequency(c *isa.CPU, s *isa.Span, leader int) {
 	h.stats.Blocks++
+	if h.tt != nil {
+		h.tt.Touch(obs.TierInterp)
+	}
 	p := c.Ctx.(*vos.Process)
 	key := bbKey{s.Image, s.Addr(leader)}
 	e := &h.bbCache[(key.addr/isa.InstrSize)&(bbCacheSize-1)]

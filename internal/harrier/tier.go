@@ -136,6 +136,9 @@ func (h *Harrier) enterTrace(c *isa.CPU, tr *blockTrace) (isa.SummaryAction, err
 		}
 		return isa.SummaryBlock, nil
 	}
+	if h.tt != nil {
+		h.tt.Touch(obs.TierTrace)
+	}
 	return isa.SummaryTrace, h.runTrace(c, tr, budget)
 }
 
@@ -179,9 +182,15 @@ func (h *Harrier) applySummary(c *isa.CPU, sum *blockSummary) bool {
 	if sum.clean.ok && *ctr >= h.cleanThreshold && h.cleanThreshold > 0 &&
 		h.cleanProbeSum(c, sum) {
 		h.stats.CleanHits++
+		if h.tt != nil {
+			h.tt.Touch(obs.TierClean)
+		}
 		return true
 	}
 	h.stats.TierHits++
+	if h.tt != nil {
+		h.tt.Touch(obs.TierSummary)
+	}
 	h.applyOps(c, sum.ops)
 	return false
 }

@@ -666,6 +666,9 @@ func (h *Harrier) runTrace(c *isa.CPU, tr *blockTrace, budget int) error {
 		// current footprint/tag state, so run the trace with zero
 		// instrumentation. end = len(mops) means the bare loop never
 		// hands over to the taint loop (cont is always -1).
+		if h.tt != nil {
+			h.tt.Touch(obs.TierClean)
+		}
 		ex, _ := h.runTraceBare(c, tr, budget, len(tr.mops))
 		// Clean-loop fusion: when the run lands back on this trace's
 		// own head (a self-looping hot loop), re-enter directly instead

@@ -66,14 +66,21 @@ func (in *Introspection) Event(e Event) {
 	in.metrics.Event(e)
 	in.flight.Event(e)
 	in.mu.Lock()
+	drops := 0
 	for _, ch := range in.subs {
 		select {
 		case ch <- e:
 		default:
 			in.dropped++
+			drops++
 		}
 	}
 	in.mu.Unlock()
+	// Mirror the drops into the registry so /metrics surfaces them
+	// (hth_sse_dropped_total) — outside in.mu; Metrics has its own lock.
+	for i := 0; i < drops; i++ {
+		in.metrics.Inc("sse_slow_dropped")
+	}
 }
 
 // Close is a no-op: the server outlives the run so post-run curls see

@@ -26,6 +26,20 @@ type Metrics struct {
 	byName map[countKey]uint64
 	gauges map[string]float64
 	hists  map[string][]Bucket
+	extra  map[string]uint64
+
+	// Per-tenant latency histograms by (stage, tenant), fed from
+	// KindJobLatency events. The histograms are fixed-shape values so
+	// an observation never allocates once the series exists.
+	lat map[latKey]*LatencyHist
+
+	// Tenant-label cardinality bound: once tenantCap distinct tenant
+	// labels exist, further tenants fold into "other" and
+	// tenantDropped counts the folds — a tenant-ID-spraying client
+	// can't grow /metrics without bound.
+	tenants       map[string]struct{}
+	tenantCap     int
+	tenantDropped uint64
 
 	// Cumulative substrate counters arrive as running totals in
 	// periodic samples; the last sample wins per run and run totals
@@ -36,13 +50,54 @@ type Metrics struct {
 	instrs, wallNS       uint64
 }
 
+// latKey keys one latency series: a stage ("queue", "exec", "e2e",
+// "deadline_burn") crossed with a (capped) tenant label.
+type latKey struct {
+	stage, tenant string
+}
+
+// DefaultTenantCap bounds distinct tenant label values per registry.
+const DefaultTenantCap = 64
+
 // NewMetrics builds an empty registry.
 func NewMetrics() *Metrics {
 	return &Metrics{
-		byName: make(map[countKey]uint64),
-		gauges: make(map[string]float64),
-		hists:  make(map[string][]Bucket),
+		byName:    make(map[countKey]uint64),
+		gauges:    make(map[string]float64),
+		hists:     make(map[string][]Bucket),
+		extra:     make(map[string]uint64),
+		lat:       make(map[latKey]*LatencyHist),
+		tenants:   make(map[string]struct{}),
+		tenantCap: DefaultTenantCap,
 	}
+}
+
+// SetTenantCap overrides the tenant-label cardinality bound (values
+// < 1 keep the default). Labels already admitted stay.
+func (m *Metrics) SetTenantCap(n int) {
+	if n < 1 {
+		return
+	}
+	m.mu.Lock()
+	m.tenantCap = n
+	m.mu.Unlock()
+}
+
+// tenantLabel admits or folds a tenant label under the cardinality
+// cap. Caller holds m.mu.
+func (m *Metrics) tenantLabel(t string) string {
+	if t == "" || t == "other" {
+		return t
+	}
+	if _, ok := m.tenants[t]; ok {
+		return t
+	}
+	if len(m.tenants) >= m.tenantCap {
+		m.tenantDropped++
+		return "other"
+	}
+	m.tenants[t] = struct{}{}
+	return t
 }
 
 // Event folds one event into the registry.
@@ -53,11 +108,20 @@ func (m *Metrics) Event(e Event) {
 		m.kinds[e.Kind]++
 	}
 	switch e.Kind {
-	case KindSyscallEnter, KindRuleFire, KindWarning, KindChaosFault,
-		KindJobEnqueue, KindJobDone, KindJobShed, KindJobAbort:
-		// The job kinds carry the tenant in Str, so service counters
-		// are tenant-labelled for free.
+	case KindSyscallEnter, KindRuleFire, KindWarning, KindChaosFault:
 		m.byName[countKey{e.Kind, e.Str}]++
+	case KindJobEnqueue, KindJobDone, KindJobShed, KindJobAbort:
+		// The job kinds carry the tenant in Str, so service counters
+		// are tenant-labelled for free — behind the cardinality cap.
+		m.byName[countKey{e.Kind, m.tenantLabel(e.Str)}]++
+	case KindJobLatency:
+		k := latKey{stage: e.Str2, tenant: m.tenantLabel(e.Str)}
+		h := m.lat[k]
+		if h == nil {
+			h = &LatencyHist{}
+			m.lat[k] = h
+		}
+		h.Observe(e.Num)
 	case KindMetric:
 		m.gauges[e.Str] = float64(e.Num)
 	case KindMetricBucket:
@@ -107,6 +171,19 @@ type Snapshot struct {
 	// Hists: discrete distributions, e.g. "taint.width" (taint-set
 	// width in sources → number of live sets).
 	Hists map[string][]Bucket `json:"hists,omitempty"`
+	// Latency: per-(stage, tenant) fixed-bucket latency series. Bucket
+	// values are inclusive upper bounds in the stage's raw units.
+	Latency []LatencySeries `json:"latency,omitempty"`
+}
+
+// LatencySeries is one (stage, tenant) latency histogram in a
+// snapshot.
+type LatencySeries struct {
+	Stage   string   `json:"stage"`
+	Tenant  string   `json:"tenant,omitempty"`
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
 }
 
 // counterPrefix maps a string-dimensioned kind to its flat-name
@@ -142,6 +219,68 @@ func (m *Metrics) NamedCount(k Kind, name string) uint64 {
 	return m.byName[countKey{k, name}]
 }
 
+// Inc bumps a free-form registry counter by name ("sse_slow_dropped").
+// These land in Snapshot.Counters verbatim; names with a Prometheus
+// family (see exactCounters in prom.go) render under it.
+func (m *Metrics) Inc(name string) {
+	m.mu.Lock()
+	m.extra[name]++
+	m.mu.Unlock()
+}
+
+// Counter reads a free-form registry counter.
+func (m *Metrics) Counter(name string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.extra[name]
+}
+
+// TenantDropped is the number of tenant-label observations folded
+// into "other" by the cardinality cap.
+func (m *Metrics) TenantDropped() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tenantDropped
+}
+
+// LatencyRollup aggregates one latency stage across all tenants into
+// millisecond quantiles. ok is false when the stage has no
+// observations.
+func (m *Metrics) LatencyRollup(stage string) (r LatencyRollup, ok bool) {
+	agg := m.latAggregate(stage)
+	if agg.Count() == 0 {
+		return r, false
+	}
+	r.Count = agg.Count()
+	r.P50MS = float64(agg.Quantile(0.50)) / 1e6
+	r.P95MS = float64(agg.Quantile(0.95)) / 1e6
+	r.P99MS = float64(agg.Quantile(0.99)) / 1e6
+	return r, true
+}
+
+// LatencyQuantile returns the q-quantile of one stage across all
+// tenants in the stage's raw units (nanoseconds, or ratio ×1e6 for
+// deadline_burn). ok is false when empty.
+func (m *Metrics) LatencyQuantile(stage string, q float64) (v uint64, ok bool) {
+	agg := m.latAggregate(stage)
+	if agg.Count() == 0 {
+		return 0, false
+	}
+	return agg.Quantile(q), true
+}
+
+func (m *Metrics) latAggregate(stage string) LatencyHist {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var agg LatencyHist
+	for k, h := range m.lat {
+		if k.stage == stage {
+			agg.Merge(h)
+		}
+	}
+	return agg
+}
+
 // KindCount returns the total number of events of the given kind.
 func (m *Metrics) KindCount(k Kind) uint64 {
 	m.mu.Lock()
@@ -168,6 +307,12 @@ func (m *Metrics) Snapshot() *Snapshot {
 	}
 	for k, n := range m.byName {
 		s.Counters[counterPrefix[k.kind]+k.s] = n
+	}
+	for name, n := range m.extra {
+		s.Counters[name] = n
+	}
+	if m.tenantDropped > 0 {
+		s.Counters["tenant_labels_dropped"] = m.tenantDropped
 	}
 	for name, v := range m.gauges {
 		s.Gauges[name] = v
@@ -202,5 +347,18 @@ func (m *Metrics) Snapshot() *Snapshot {
 			s.Hists[name] = cp
 		}
 	}
+	for k, h := range m.lat {
+		s.Latency = append(s.Latency, LatencySeries{
+			Stage: k.stage, Tenant: k.tenant,
+			Count: h.Count(), Sum: h.Sum(), Buckets: h.Buckets(),
+		})
+	}
+	sort.Slice(s.Latency, func(i, j int) bool {
+		a, b := s.Latency[i], s.Latency[j]
+		if a.Stage != b.Stage {
+			return a.Stage < b.Stage
+		}
+		return a.Tenant < b.Tenant
+	})
 	return s
 }

@@ -187,6 +187,23 @@ const (
 	// Str2 = job id.
 	KindWorkerRecycle
 
+	// KindSpanStart opens a lifecycle span. Num = span id (process-
+	// unique), Num2 = parent span id (0 = trace root), Str = span name,
+	// Str2 = trace id (the job id for service traces). Time carries the
+	// span's wall-clock start in nanoseconds — span events are the one
+	// kind stamped from the host clock rather than the virtual clock,
+	// because they measure where host time went.
+	KindSpanStart
+	// KindSpanEnd closes a lifecycle span. Num = span id, Num2 =
+	// duration in nanoseconds, Str = span name, Str2 = status ("ok",
+	// an outcome, or an error code). Time = wall-clock end ns.
+	KindSpanEnd
+	// KindJobLatency is one per-job latency observation the registry
+	// folds into its fixed-bucket histograms. Str = tenant, Str2 =
+	// stage ("queue", "exec", "e2e" in nanoseconds; "deadline_burn" as
+	// ratio ×1e6), Num = value.
+	KindJobLatency
+
 	numKinds
 )
 
@@ -222,6 +239,10 @@ var kindNames = [numKinds]string{
 	KindJobShed:       "job.shed",
 	KindJobAbort:      "job.abort",
 	KindWorkerRecycle: "worker.recycle",
+
+	KindSpanStart:  "span.start",
+	KindSpanEnd:    "span.end",
+	KindJobLatency: "job.latency",
 }
 
 // String names the kind as it appears in JSONL traces.

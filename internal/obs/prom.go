@@ -47,8 +47,12 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 		{"warning.", family{"hth_warnings_total", "rule", "Policy warnings by rule."}},
 	}
 	grouped := make(map[string]map[string]uint64)
-	var other []string
+	var other, exact []string
 	for k := range s.Counters {
+		if _, ok := exactCounters[k]; ok {
+			exact = append(exact, k)
+			continue
+		}
 		matched := false
 		for _, f := range families {
 			if strings.HasPrefix(k, f.prefix) {
@@ -63,6 +67,12 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 		if !matched {
 			other = append(other, k)
 		}
+	}
+	sort.Strings(exact)
+	for _, k := range exact {
+		f := exactCounters[k]
+		pw.header(f.name, "counter", f.help)
+		pw.printf("%s %d\n", f.name, s.Counters[k])
 	}
 	for _, f := range families {
 		vals := grouped[f.name]
@@ -105,7 +115,60 @@ func WritePrometheus(w io.Writer, s *Snapshot) error {
 			pw.printf("%s{value=\"%d\"} %d\n", mn, b.Value, b.Count)
 		}
 	}
+
+	writeLatencyFamilies(pw, s.Latency)
 	return pw.err
+}
+
+// exactCounters maps free-form registry counter names to dedicated
+// Prometheus families (everything else lands in hth_counter_total).
+var exactCounters = map[string]struct{ name, help string }{
+	"tenant_labels_dropped": {"hth_tenant_labels_dropped_total",
+		"Tenant label observations folded into the \"other\" bucket by the cardinality cap."},
+	"sse_slow_dropped": {"hth_sse_dropped_total",
+		"Events dropped to slow /events SSE subscribers."},
+}
+
+// latencyFamilies maps a latency stage to its Prometheus histogram
+// family and the divisor converting raw units to the family's unit.
+var latencyFamilies = map[string]struct {
+	name, help string
+	div        float64
+}{
+	"queue":         {"hth_job_queue_wait_seconds", "Job queue wait by tenant.", 1e9},
+	"exec":          {"hth_job_exec_seconds", "Job execution time by tenant (summed across retries).", 1e9},
+	"e2e":           {"hth_job_e2e_seconds", "Job end-to-end latency (submit to verdict) by tenant.", 1e9},
+	"deadline_burn": {"hth_job_deadline_burn_ratio", "Fraction of the job deadline consumed by execution, by tenant.", 1e6},
+}
+
+// writeLatencyFamilies renders the per-(stage, tenant) latency series
+// as genuine Prometheus histograms: cumulative le buckets, _sum and
+// _count per tenant. Series arrive sorted by (stage, tenant) from
+// Snapshot, so output is byte-stable.
+func writeLatencyFamilies(pw *promWriter, series []LatencySeries) {
+	lastStage := ""
+	for _, ls := range series {
+		fam, ok := latencyFamilies[ls.Stage]
+		if !ok {
+			fam.name = "hth_job_" + sanitizeMetricName(ls.Stage) + "_raw"
+			fam.help = "Latency stage in raw units."
+			fam.div = 1
+		}
+		if ls.Stage != lastStage {
+			pw.header(fam.name, "histogram", fam.help)
+			lastStage = ls.Stage
+		}
+		var cum uint64
+		for _, b := range ls.Buckets {
+			cum += b.Count
+			pw.printf("%s_bucket{tenant=%q,le=%q} %d\n", fam.name, ls.Tenant,
+				strconv.FormatFloat(float64(b.Value)/fam.div, 'g', -1, 64), cum)
+		}
+		pw.printf("%s_bucket{tenant=%q,le=\"+Inf\"} %d\n", fam.name, ls.Tenant, ls.Count)
+		pw.printf("%s_sum{tenant=%q} %s\n", fam.name, ls.Tenant,
+			strconv.FormatFloat(float64(ls.Sum)/fam.div, 'g', -1, 64))
+		pw.printf("%s_count{tenant=%q} %d\n", fam.name, ls.Tenant, ls.Count)
+	}
 }
 
 // promWriter accumulates the first write error so WritePrometheus

@@ -15,7 +15,10 @@
 //     completed as a structured abort).
 package pool
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Task is one unit of work. Run executes on a worker goroutine; the
 // optional hooks give the submitter a say in the two abnormal ends a
@@ -33,6 +36,10 @@ type Task struct {
 	// been arranged. The task is not retried by the pool; retry policy
 	// belongs to the submitter.
 	OnPanic func(v any)
+
+	// enqueued is stamped by Submit so the dequeue can attribute the
+	// task's queue wait (see QueueWait).
+	enqueued time.Time
 }
 
 // Options configure a pool.
@@ -58,6 +65,8 @@ type Pool struct {
 	queue    []Task
 	inflight int
 	recycled uint64
+	waited   uint64 // tasks whose queue wait has been recorded
+	waitNS   int64  // cumulative queue wait
 	closed   bool // no further Submits; workers exit when queue empties
 	wg       sync.WaitGroup
 }
@@ -88,10 +97,21 @@ func (p *Pool) Submit(t Task) bool {
 		p.mu.Unlock()
 		return false
 	}
+	t.enqueued = time.Now()
 	p.queue = append(p.queue, t)
 	p.mu.Unlock()
 	p.cond.Signal()
 	return true
+}
+
+// QueueWait reports the cumulative time dequeued tasks spent waiting
+// in the queue and how many tasks that covers — the pool-level side
+// of the service's queue-wait attribution (shard gauges divide the
+// two for a running average).
+func (p *Pool) QueueWait() (tasks uint64, total time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.waited, time.Duration(p.waitNS)
 }
 
 // Queued returns the number of tasks waiting to run.
@@ -164,6 +184,10 @@ func (p *Pool) worker() {
 		t := p.queue[0]
 		p.queue = p.queue[1:]
 		p.inflight++
+		if !t.enqueued.IsZero() {
+			p.waited++
+			p.waitNS += time.Since(t.enqueued).Nanoseconds()
+		}
 		p.mu.Unlock()
 		if !p.runTask(t) {
 			// The task panicked: recycle this worker. The replacement

@@ -201,6 +201,16 @@ func WithJobTag(tag string) Option {
 	return func(c *Config) { c.JobTag = tag }
 }
 
+// WithSpans arms job-lifecycle span tracing: the run records a
+// wall-clock span tree (load / instrument / execute / report, with
+// per-tier execution-time children) into Result.Spans and mirrors
+// span events onto the bus when observers are attached. Spans are a
+// pure observer: detections and taint state are bit-identical with
+// tracing on or off.
+func WithSpans() Option {
+	return func(c *Config) { c.Spans = true }
+}
+
 // WithIntrospection serves live run introspection over HTTP on addr
 // (e.g. "127.0.0.1:8077"): /metrics in Prometheus text format,
 // /events as a filterable SSE stream, /flight as the recorder dump,

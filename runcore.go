@@ -28,6 +28,15 @@ type runCore struct {
 	prov   *obs.Provenance
 	intro  *obs.Introspection
 
+	// Span tracing (Config.Spans): the recorder holding this run's
+	// phase spans, the parent every phase span hangs under, the root
+	// span this core opened itself (0 when an embedding service owns
+	// the trace root), and the per-tier execution-time attributor.
+	spans      *obs.SpanRecorder
+	spanParent uint64
+	spanRoot   uint64
+	tt         *obs.TierTimer
+
 	introErr error
 }
 
@@ -79,6 +88,34 @@ func newRunCore(s *System, cfg Config) *runCore {
 		rc.inj.SetBus(rc.bus)
 		os.SetInjector(rc.inj)
 	}
+	// Span tracing: a run either grafts its phase spans under an
+	// embedding service's job trace (spanRec set, publish hook already
+	// installed by the service) or owns a fresh trace rooted at a
+	// "run" span mirrored onto this run's own bus.
+	var instSpan uint64
+	if cfg.Spans {
+		rec, parent := cfg.spanRec, cfg.spanParent
+		if rec == nil {
+			tag := cfg.JobTag
+			if tag == "" {
+				tag = "run"
+			}
+			rec = obs.NewSpanRecorder(tag)
+			if rc.bus != nil {
+				bus := rc.bus
+				rec.SetPublish(func(e obs.Event) {
+					e.Layer = obs.LayerRun
+					bus.Publish(e)
+				})
+			}
+		}
+		if parent == 0 {
+			parent = rec.StartSpan(0, "run", 0)
+			rc.spanRoot = parent
+		}
+		rc.spans, rc.spanParent = rec, parent
+		instSpan = rec.StartSpan(parent, "instrument", 0)
+	}
 	if !cfg.Unmonitored {
 		rc.sec = secpert.New(cfg.Policy, cfg.Advisor)
 		rc.wireSecpert()
@@ -106,6 +143,13 @@ func newRunCore(s *System, cfg Config) *runCore {
 			}
 		}
 	}
+	if rc.spans != nil {
+		if rc.h != nil {
+			rc.tt = obs.NewTierTimer()
+			rc.h.SetTierTimer(rc.tt)
+		}
+		rc.spans.EndSpan(instSpan, "ok")
+	}
 	if rc.intro != nil {
 		rc.introErr = rc.intro.Start(cfg.Introspect)
 	}
@@ -119,6 +163,9 @@ func (rc *runCore) setupErr() error { return rc.introErr }
 // abort tears down a core whose run never happened: the bus is closed
 // (flushing observers) and the introspection server is stopped.
 func (rc *runCore) abort() {
+	if rc.spans != nil {
+		rc.spans.EndSpan(rc.spanRoot, "error")
+	}
 	rc.bus.Close() // nil-safe
 	if rc.intro != nil {
 		rc.intro.Shutdown()
@@ -160,6 +207,10 @@ func tee(a, b io.Writer) io.Writer {
 // start launches one program under this core's monitor (if any),
 // publishing the run.start event.
 func (rc *runCore) start(spec RunSpec) (*vos.Process, error) {
+	var loadSpan uint64
+	if rc.spans != nil {
+		loadSpan = rc.spans.StartSpan(rc.spanParent, "load", 0)
+	}
 	if rc.bus != nil {
 		rc.bus.Publish(obs.Event{
 			Layer: obs.LayerRun, Kind: obs.KindRunStart, Str: spec.Path,
@@ -175,7 +226,15 @@ func (rc *runCore) start(spec RunSpec) (*vos.Process, error) {
 		pspec.Monitor = rc.h
 		pspec.Store = rc.h.Store
 	}
-	return rc.sys.OS.StartProcess(pspec)
+	p, err := rc.sys.OS.StartProcess(pspec)
+	if rc.spans != nil {
+		status := "ok"
+		if err != nil {
+			status = "error"
+		}
+		rc.spans.EndSpan(loadSpan, status)
+	}
+	return p, err
 }
 
 // finish assembles the Result, publishes the end-of-run metric events,
@@ -199,6 +258,27 @@ func (rc *runCore) finish(root *vos.Process, runErr error, wall time.Duration) *
 	}
 	if rc.inj != nil {
 		res.Chaos = rc.inj.Faults()
+	}
+	if rc.spans != nil {
+		// The execute span is synthesized from the wall time the caller
+		// measured around the scheduler, with per-tier children carved
+		// out of it from the TierTimer's transition-sampled totals (laid
+		// end to end — attribution, not a literal timeline). The report
+		// span covers Result assembly, which just happened above.
+		execEnd := rc.spans.Now()
+		execStart := execEnd - wall.Nanoseconds()
+		es := rc.spans.AddSpan(rc.spanParent, "execute", execStart, execEnd, runOutcome(runErr))
+		if rc.tt != nil {
+			ns := rc.tt.Flush()
+			cur := execStart
+			for i, name := range obs.TierNames {
+				rc.spans.AddSpan(es, "tier."+name, cur, cur+ns[i], "")
+				cur += ns[i]
+			}
+		}
+		rc.spans.AddSpan(rc.spanParent, "report", execEnd, rc.spans.Now(), "ok")
+		rc.spans.EndSpan(rc.spanRoot, runOutcome(runErr)) // no-op for service-owned traces
+		res.Spans = rc.spans
 	}
 	if rc.bus != nil {
 		rc.publishRunEnd(runErr, wall)
@@ -289,6 +369,18 @@ func (rc *runCore) publishRunEnd(runErr error, wall time.Duration) {
 			rc.bus.Publish(obs.Event{
 				Layer: obs.LayerRun, Kind: obs.KindMetric,
 				Str: g.name, Num: g.v,
+			})
+		}
+	}
+	if rc.tt != nil {
+		// Per-tier execution wall time, as attributed by the TierTimer.
+		// All four gauges are always published (even when zero) so a
+		// span-armed run's event count stays deterministic.
+		ns := rc.tt.Flush()
+		for i, name := range obs.TierNames {
+			rc.bus.Publish(obs.Event{
+				Layer: obs.LayerRun, Kind: obs.KindMetric,
+				Str: "harrier.span.tier_ns." + name, Num: uint64(ns[i]),
 			})
 		}
 	}

@@ -49,6 +49,10 @@ make elf
 # nil-check per publish site — no hot-path allocations, no gross
 # throughput regression (see scripts/benchgate.sh).
 sh scripts/benchgate.sh
+# Span-tracing gate: span/summary/latency-histogram goldens, the span
+# recorder under the race detector, the service span-lifecycle suite,
+# and the spans-off/on differential sweep (see Makefile `spans`).
+make spans
 # Trace replay gate: a recorded trojandetect run must replay into the
 # golden summary (determinism of the JSONL observer end to end).
 make trace

@@ -397,6 +397,7 @@ type JobHandle struct {
 	done    chan struct{}
 	updates chan JobUpdate // nil unless streaming
 	dropped atomic.Uint64
+	spans   *obs.SpanRecorder
 
 	mu    sync.Mutex
 	state string // "queued" → "running" → terminal Status
@@ -426,6 +427,13 @@ func (h *JobHandle) Shard() int { return h.shard }
 
 // Done is closed when the job reaches a terminal state.
 func (h *JobHandle) Done() <-chan struct{} { return h.done }
+
+// Spans returns the job's lifecycle trace recorder: the
+// submit→queue→exec→verdict span tree, with runCore's phase and
+// per-tier children grafted under each exec span. Every span is
+// closed by the time Done() fires. Export with
+// Spans().WriteChromeTrace (GET /jobs/{id}/trace over HTTP).
+func (h *JobHandle) Spans() *obs.SpanRecorder { return h.spans }
 
 // Updates returns the live stream channel (nil unless the spec asked
 // for streaming and the admission tier allowed it). The channel is
@@ -501,6 +509,18 @@ type job struct {
 	inj     *chaos.Injector         // nil without a service chaos plan
 	shed    int
 	attempt int // 0-based execution attempt
+
+	// Lifecycle trace state: the recorder (shared with the handle),
+	// the root "job" span, the open queue/exec spans of the current
+	// attempt, and the effective deadline for the deadline-burn gauge.
+	// qspan/espan are written by whichever goroutine owns the job at
+	// that moment (submitter, worker, retry timer) and EndSpan is
+	// idempotent, so racing terminators close them safely.
+	rec        *obs.SpanRecorder
+	root       uint64
+	qspan      uint64
+	espan      uint64
+	deadlineNS int64
 }
 
 // NewService builds and starts a service (its workers idle until jobs
@@ -551,6 +571,9 @@ func shardGaugeFill(id int) string { return fmt.Sprintf("service.shard.%d.fill",
 func shardGaugeStreak(id int) string {
 	return fmt.Sprintf("service.shard.%d.recycle_streak", id)
 }
+func shardGaugeQueueWait(id int) string {
+	return fmt.Sprintf("service.shard.%d.queue_wait_avg_ns", id)
+}
 
 // publishShardGauges folds the shard's live occupancy and worker
 // health into the registry. Fill is percent of total capacity
@@ -566,6 +589,10 @@ func (s *Service) publishShardGauges(sh *shard) {
 		Str: shardGaugeFill(sh.id), Num: fill})
 	s.publish(Event{Layer: obs.LayerService, Kind: obs.KindMetric,
 		Str: shardGaugeStreak(sh.id), Num: streak})
+	if n, total := sh.pool.QueueWait(); n > 0 {
+		s.publish(Event{Layer: obs.LayerService, Kind: obs.KindMetric,
+			Str: shardGaugeQueueWait(sh.id), Num: uint64(total.Nanoseconds()) / n})
+	}
 }
 
 // shedLevel is the admission decision: it reads the target shard's
@@ -640,6 +667,7 @@ func decodeBinaries(spec *JobSpec) (map[string]*image.Image, *JobError) {
 // hint), or ErrDraining. An admitted job always terminates: watch the
 // returned handle.
 func (s *Service) Submit(spec JobSpec) (*JobHandle, error) {
+	submitT := time.Now()
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -665,6 +693,7 @@ func (s *Service) Submit(spec JobSpec) (*JobHandle, error) {
 	sh := s.shardFor(spec.Tenant)
 	jerr := validateSpec(&spec)
 	var decoded map[string]*image.Image
+	var decodeT time.Time
 	if jerr == nil {
 		// Backpressure before decode work: a saturated shard rejects
 		// here, before any payload parsing, so a flood of pathological
@@ -674,6 +703,7 @@ func (s *Service) Submit(spec JobSpec) (*JobHandle, error) {
 		if sh.pool.Queued() >= s.cfg.QueueDepth {
 			return nil, &OverloadError{Shard: sh.id, RetryAfter: s.cfg.RetryAfter}
 		}
+		decodeT = time.Now()
 		decoded, jerr = decodeBinaries(&spec)
 	}
 	if jerr != nil {
@@ -685,9 +715,28 @@ func (s *Service) Submit(spec JobSpec) (*JobHandle, error) {
 		return nil, jerr
 	}
 
+	// The job's lifecycle trace: rejected submissions above get no
+	// trace (nothing was admitted); from here on every span mutation
+	// mirrors onto the service bus. The root is back-stamped to the
+	// moment Submit was entered so the admit span covers validation
+	// and the backpressure gate too.
+	rec := obs.NewSpanRecorder(id)
+	rec.SetPublish(func(e Event) {
+		e.Layer = obs.LayerService
+		s.publish(e)
+	})
+	root := rec.StartSpanAt(0, "job", submitT.UnixNano(), 0)
+	if len(spec.Binaries) > 0 {
+		rec.AddSpan(root, "decode", decodeT.UnixNano(), rec.Now(), "ok")
+	}
+	rec.AddSpan(root, "admit", submitT.UnixNano(), rec.Now(), "ok")
+
 	shed := s.shedLevel(sh)
 	h := newHandle(id, spec.Tenant, sh.id, spec.Stream && shed < ShedTrace)
-	j := &job{h: h, spec: spec, decoded: decoded, inj: inj, shed: shed}
+	h.spans = rec
+	j := &job{h: h, spec: spec, decoded: decoded, inj: inj, shed: shed,
+		rec: rec, root: root, deadlineNS: int64(s.jobDeadline(&spec))}
+	j.qspan = rec.StartSpan(root, "queue", 0)
 
 	ok := sh.pool.Submit(pool.Task{
 		Run:     func() { s.runJob(j) },
@@ -695,6 +744,8 @@ func (s *Service) Submit(spec JobSpec) (*JobHandle, error) {
 		OnPanic: func(v any) { s.jobPanicked(j, v) },
 	})
 	if !ok {
+		rec.EndSpan(j.qspan, "overload")
+		rec.EndSpan(root, "overload")
 		s.mu.Lock()
 		draining := s.draining
 		s.mu.Unlock()
@@ -733,6 +784,8 @@ func (s *Service) runJob(j *job) {
 	j.h.mu.Lock()
 	j.h.state = "running"
 	j.h.mu.Unlock()
+	j.rec.EndSpan(j.qspan, "ok")
+	j.espan = j.rec.StartSpan(j.root, "exec", uint64(j.attempt))
 	s.publish(Event{Layer: obs.LayerService, Kind: obs.KindJobStart,
 		Str: j.h.tenant, Str2: j.h.id, Num: uint64(j.h.shard), Num2: uint64(j.attempt)})
 	if j.inj != nil {
@@ -809,16 +862,15 @@ func (s *Service) execute(j *job) (*Result, error) {
 	if s.cfg.MaxSteps > 0 && (cfg.MaxSteps == 0 || cfg.MaxSteps > s.cfg.MaxSteps) {
 		cfg.MaxSteps = s.cfg.MaxSteps
 	}
-	deadline := s.cfg.DefaultDeadline
-	if j.spec.DeadlineMS > 0 {
-		deadline = time.Duration(j.spec.DeadlineMS) * time.Millisecond
-	}
-	if deadline > s.cfg.MaxDeadline {
-		deadline = s.cfg.MaxDeadline
-	}
+	deadline := s.jobDeadline(&j.spec)
 	if cfg.Deadline == 0 || cfg.Deadline > deadline {
 		cfg.Deadline = deadline
 	}
+	// Graft the run's phase spans (load/instrument/execute/report and
+	// the per-tier execution children) under this attempt's exec span.
+	cfg.Spans = true
+	cfg.spanRec = j.rec
+	cfg.spanParent = j.espan
 	// Feature mask by admission tier: strictly observability — the
 	// policy engine and monitor semantics are never degraded.
 	cfg.Provenance = j.spec.Provenance && j.shed < ShedProvenance
@@ -848,6 +900,20 @@ func (s *Service) execute(j *job) (*Result, error) {
 	})
 }
 
+// jobDeadline resolves a spec's effective wall-clock budget under the
+// service clamps: the spec may name one (clamped to MaxDeadline), the
+// service default applies otherwise.
+func (s *Service) jobDeadline(spec *JobSpec) time.Duration {
+	d := s.cfg.DefaultDeadline
+	if spec.DeadlineMS > 0 {
+		d = time.Duration(spec.DeadlineMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d
+}
+
 // severityName renders a secpert severity ordinal as its wire name.
 func severityName(n int) string {
 	switch n {
@@ -864,6 +930,7 @@ func severityName(n int) string {
 // finish classifies one completed attempt into the job's terminal
 // result.
 func (s *Service) finish(j *job, res *Result, err error, wall time.Duration) {
+	finishT := j.rec.Now()
 	r := &JobResult{
 		ID: j.h.id, Tenant: j.h.tenant,
 		Shed: j.shed, Attempts: j.attempt + 1, WallNS: wall.Nanoseconds(),
@@ -909,6 +976,18 @@ func (s *Service) finish(j *job, res *Result, err error, wall time.Duration) {
 			}
 		}
 	}
+	// Close this attempt's exec span with the execution's own status
+	// (the scheduler outcome for done runs — "deadline" when the
+	// wall-clock budget expired — or the error code), then account the
+	// verdict assembly that just happened. Crash paths already closed
+	// espan in jobPanicked; EndSpan's idempotence makes this a no-op
+	// there.
+	execStatus := code
+	if r.Status == "done" {
+		execStatus = r.Outcome
+	}
+	j.rec.EndSpan(j.espan, execStatus)
+	j.rec.AddSpan(j.root, "verdict", finishT, j.rec.Now(), "ok")
 	s.complete(j, r, code)
 }
 
@@ -933,9 +1012,18 @@ func (s *Service) complete(j *job, r *JobResult, code string) bool {
 	if j.inj != nil {
 		r.ServiceFaults = s.collectFaults(j.inj)
 	}
+	// Close the trace before settling so a waiter released by Done()
+	// always observes a fully closed span tree. Queue/exec are
+	// defensive closes for paths that never ran them (aborts, crash
+	// terminations); the racing loser's statuses never land because
+	// EndSpan keeps the first close.
+	j.rec.EndSpan(j.qspan, code)
+	j.rec.EndSpan(j.espan, code)
+	j.rec.EndSpan(j.root, code)
 	if !j.h.settle(r) {
 		return false
 	}
+	s.publishJobLatency(j, r)
 	sh := s.shards[j.h.shard]
 	if r.Status == "done" || (r.Error != nil && r.Error.Code != JobWorkerCrash) {
 		// A job that made it through a worker — a verdict, or a typed
@@ -960,6 +1048,40 @@ func (s *Service) complete(j *job, r *JobResult, code string) bool {
 		Str: j.h.tenant, Str2: code, Num: uint64(j.h.shard), Num2: uint64(j.shed)})
 	s.publishShardGauges(sh)
 	return true
+}
+
+// publishJobLatency emits the settled job's latency observations —
+// queue wait, execution time (summed across crash retries), and
+// end-to-end submit→verdict — plus, for completed runs, the fraction
+// of the wall-clock deadline the final attempt consumed (ratio ×1e6,
+// the deadline-burn gauge's raw unit). The registry folds these into
+// its per-tenant fixed-bucket histograms.
+func (s *Service) publishJobLatency(j *job, r *JobResult) {
+	qns, _ := j.rec.NamedDuration("queue")
+	ens, _ := j.rec.NamedDuration("exec")
+	var e2e int64
+	if root := j.rec.Root(); root != nil && root.End != 0 {
+		e2e = root.End - root.Start
+	}
+	for _, o := range [...]struct {
+		stage string
+		v     int64
+	}{{"queue", qns}, {"exec", ens}, {"e2e", e2e}} {
+		s.publish(Event{Layer: obs.LayerService, Kind: obs.KindJobLatency,
+			Str: j.h.tenant, Str2: o.stage, Num: uint64(max64(o.v, 0))})
+	}
+	if r.Status == "done" && j.deadlineNS > 0 && r.WallNS > 0 {
+		burn := uint64(r.WallNS) * 1_000_000 / uint64(j.deadlineNS)
+		s.publish(Event{Layer: obs.LayerService, Kind: obs.KindJobLatency,
+			Str: j.h.tenant, Str2: "deadline_burn", Num: burn})
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // collectFaults appends an injector's recorded faults to the service
@@ -993,6 +1115,7 @@ func (s *Service) Faults() []chaos.Fault {
 // job retries with exponential backoff until MaxRetries, then
 // terminates in the typed worker-crash error.
 func (s *Service) jobPanicked(j *job, v any) {
+	j.rec.EndSpan(j.espan, "crash")
 	sh := s.shards[j.h.shard]
 	sh.mu.Lock()
 	sh.streak++
@@ -1013,6 +1136,11 @@ func (s *Service) jobPanicked(j *job, v any) {
 	}
 	j.attempt++
 	backoff := s.cfg.RetryBackoff << (j.attempt - 1)
+	// The retry's queue span opens here so it covers the backoff wait
+	// as well as the requeue; runJob closes it when a worker picks the
+	// attempt up. Written before the retry entry is registered under
+	// s.mu, so Drain's abort path reads it safely.
+	j.qspan = j.rec.StartSpan(j.root, "queue", uint64(j.attempt))
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
@@ -1069,6 +1197,16 @@ type ServiceHealth struct {
 	// TierMix is the fleet-wide aggregate of the per-shard mixes: what
 	// fraction of all block entries the fleet served per tier.
 	TierMix TierMix `json:"tier_mix"`
+	// Latency holds the fleet-wide p50/p95/p99 rollups (milliseconds)
+	// per latency stage — "queue", "exec", "e2e" — aggregated across
+	// tenants from the registry's fixed-bucket histograms. Stages with
+	// no completed jobs are absent.
+	Latency map[string]obs.LatencyRollup `json:"latency_ms,omitempty"`
+	// DeadlineBurnP95 is the 95th-percentile fraction of the per-job
+	// wall-clock deadline consumed by execution (1.0 = the whole
+	// budget). The fleet SLO canary: a value creeping toward 1 means
+	// jobs are about to start dying of deadline.
+	DeadlineBurnP95 float64 `json:"deadline_burn_p95,omitempty"`
 }
 
 // Health snapshots the service's live state.
@@ -1089,6 +1227,17 @@ func (s *Service) Health() ServiceHealth {
 			TierMix: mix,
 		})
 		hs.TierMix.add(mix)
+	}
+	for _, stage := range [...]string{"queue", "exec", "e2e"} {
+		if r, ok := s.metrics.LatencyRollup(stage); ok {
+			if hs.Latency == nil {
+				hs.Latency = make(map[string]obs.LatencyRollup, 3)
+			}
+			hs.Latency[stage] = r
+		}
+	}
+	if v, ok := s.metrics.LatencyQuantile("deadline_burn", 0.95); ok {
+		hs.DeadlineBurnP95 = float64(v) / 1e6
 	}
 	return hs
 }

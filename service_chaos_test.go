@@ -43,6 +43,7 @@ func runServiceSoak(t *testing.T, plan *chaos.Plan, tenants, jobsPerTenant int) 
 
 	type ending struct {
 		res       *hth.JobResult
+		spans     *obs.SpanRecorder
 		wantClean bool // ls (clean) vs trojan (one LOW warning)
 		wasStream bool
 	}
@@ -122,7 +123,8 @@ func runServiceSoak(t *testing.T, plan *chaos.Plan, tenants, jobsPerTenant int) 
 				}
 				mu.Lock()
 				stats.admitted++
-				endings = append(endings, ending{res: res, wantClean: clean, wasStream: stream})
+				endings = append(endings, ending{res: res, spans: h.Spans(),
+					wantClean: clean, wasStream: stream})
 				mu.Unlock()
 			}
 		}(names[ti%len(names)], ti)
@@ -159,6 +161,19 @@ func runServiceSoak(t *testing.T, plan *chaos.Plan, tenants, jobsPerTenant int) 
 		}
 		if e.wasStream {
 			stats.streamed++
+		}
+		// Span hygiene under fire: every terminated job — done, failed,
+		// crash-retried, whatever the storm did to it — has a fully
+		// closed trace rooted at its "job" span.
+		if e.spans == nil {
+			t.Errorf("job %s: no span recorder", res.ID)
+			continue
+		}
+		if root := e.spans.Root(); root == nil || root.Name != "job" || root.End == 0 {
+			t.Errorf("job %s: root span not closed: %+v", res.ID, root)
+		}
+		if n := e.spans.OpenCount(); n != 0 {
+			t.Errorf("job %s: %d spans still open after termination", res.ID, n)
 		}
 	}
 	if stats.admitted+stats.badSpec != stats.submitted {

@@ -16,7 +16,13 @@ import (
 //	POST /jobs?stream=1   JSONL stream: accepted line, live updates,
 //	                      terminal result line.
 //	GET  /jobs/{id}       poll a job: status plus the result once done.
-//	GET  /healthz         shard health snapshot (503 while draining).
+//	GET  /jobs/{id}/trace the job's lifecycle span trace as Chrome
+//	                      trace_event JSON (open in Perfetto):
+//	                      submit→queue→exec→verdict with runCore phase
+//	                      and per-tier time children under each exec.
+//	GET  /healthz         shard health snapshot (503 while draining),
+//	                      including per-stage p50/p95/p99 latency
+//	                      rollups and the deadline-burn p95 gauge.
 //	GET  /metrics         Prometheus text exposition of the registry.
 //
 // Failure mapping: a malformed spec is 400 with the typed JobError, a
@@ -28,6 +34,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -152,6 +159,20 @@ func (s *Service) handleGet(w http.ResponseWriter, r *http.Request) {
 		resp["result"] = res
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrace serves a job's span trace in Chrome trace_event JSON —
+// drop the response straight into Perfetto or chrome://tracing.
+func (s *Service) handleTrace(w http.ResponseWriter, r *http.Request) {
+	h := s.Lookup(r.PathValue("id"))
+	if h == nil || h.Spans() == nil {
+		writeJSON(w, http.StatusNotFound, httpError{
+			Error: &JobError{Code: "unknown-job", Msg: "no such job (or evicted)"},
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	h.Spans().WriteChromeTrace(w)
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, r *http.Request) {
